@@ -1,0 +1,100 @@
+// E10 — "To decrease the number of required nodes within each committee,
+// AHL employs trusted hardware … Using the trusted hardware, a malicious
+// node cannot multicast inconsistent messages" (§2.3.4).
+//
+// Three series:
+//  (1) committee sizing: replicas needed per committee for fault budget f,
+//      with (2f+1) and without (3f+1) the attested log, and the resulting
+//      node savings for a 16-shard deployment;
+//  (2) the software attested-log's unit costs (attest / verify);
+//  (3) end-to-end: simulated throughput of a 2-shard deployment at both
+//      committee sizes — smaller committees mean fewer messages.
+#include "bench/bench_util.h"
+#include "shard/two_phase.h"
+#include "sim/attested_log.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+using bench::SimWorld;
+
+void BM_CommitteeSizing(benchmark::State& state) {
+  uint32_t f = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f);
+  }
+  uint32_t without_tee = 3 * f + 1;
+  uint32_t with_tee = 2 * f + 1;
+  state.counters["replicas_without_tee"] = without_tee;
+  state.counters["replicas_with_tee"] = with_tee;
+  state.counters["nodes_saved_16_shards"] =
+      16.0 * (without_tee - with_tee);
+}
+
+void BM_AttestedLogAttest(benchmark::State& state) {
+  crypto::KeyRegistry registry;
+  sim::AttestedLog log(1, registry.Register(1));
+  uint64_t seq = 0;
+  auto digest = crypto::Sha256::Digest(std::string("payload"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Attest(seq++, digest));
+  }
+  state.counters["attest_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_AttestedLogVerify(benchmark::State& state) {
+  crypto::KeyRegistry registry;
+  sim::AttestedLog log(1, registry.Register(1));
+  auto digest = crypto::Sha256::Digest(std::string("payload"));
+  auto att = log.Attest(1, digest).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::AttestedLog::Verify(registry, att));
+  }
+  state.counters["verify_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+// End-to-end with 4 (=3f+1) vs 3 (=2f+1, attested) replicas per cluster.
+void BM_Deployment(benchmark::State& state) {
+  size_t replicas = static_cast<size_t>(state.range(0));
+  double throughput = 0, msgs = 0;
+  for (auto _ : state) {
+    SimWorld w(10);
+    shard::TwoPhaseShardSystem sys(
+        &w.net, &w.registry, shard::TwoPhaseConfig::Ahl(2, replicas));
+    size_t done = 0;
+    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    w.net.Start();
+    workload::ShardedTransfers gen(2, 20, 1000, 0.2, 4);
+    size_t total = 0;
+    for (auto& d : gen.InitialDeposits()) {
+      sys.Submit(std::move(d));
+      ++total;
+    }
+    w.simulator.RunUntil([&] { return done >= total; }, 600'000'000);
+    w.net.ResetStats();
+    sim::Time start = w.simulator.now();
+    size_t base = done;
+    for (int i = 0; i < 60; ++i) sys.Submit(gen.NextTransfer());
+    bool ok = w.simulator.RunUntil([&] { return done >= base + 60; },
+                                   600'000'000);
+    throughput = ok ? 60.0 / (static_cast<double>(w.simulator.now() - start) /
+                              1e6)
+                    : 0;
+    msgs = static_cast<double>(w.net.stats().messages_sent) / 60.0;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+  state.counters["msgs_per_txn"] = msgs;
+}
+
+BENCHMARK(BM_CommitteeSizing)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+BENCHMARK(BM_AttestedLogAttest);
+BENCHMARK(BM_AttestedLogVerify);
+BENCHMARK(BM_Deployment)->Arg(4)->Arg(3)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E11 — crypto substrate microbenchmarks supporting the E5/E7 overhead
+// claims: hashing, Merkle trees, authenticators, commitments, Σ-protocol
+// proofs, range proofs, confidential transfers.
+#include <benchmark/benchmark.h>
+
+#include "crypto/auth.h"
+#include "crypto/group.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "verify/zkp.h"
+
+namespace {
+
+using namespace pbc;
+using namespace pbc::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes msg(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, msg));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * msg.size()));
+}
+
+void BM_MerkleBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Hash256> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::Digest("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.counters["leaves_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Hash256> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::Digest("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto proof = tree.Prove(i % n).ValueOrDie();
+    benchmark::DoNotOptimize(
+        MerkleTree::Verify(tree.root(), leaves[i % n], proof));
+    ++i;
+  }
+}
+
+void BM_SignVerify(benchmark::State& state) {
+  KeyRegistry registry;
+  PrivateKey key = registry.Register(1);
+  Bytes msg(256, 0xcd);
+  for (auto _ : state) {
+    Signature sig = key.Sign(msg);
+    benchmark::DoNotOptimize(registry.Verify(msg, sig));
+  }
+}
+
+void BM_PedersenCommit(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PedersenCommit(Scalar(12345), Scalar::Random(&rng)));
+  }
+}
+
+void BM_OpeningProve(benchmark::State& state) {
+  Rng rng(1);
+  Scalar m(7), r = Scalar::Random(&rng);
+  auto c = PedersenCommit(m, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::ProveOpening(c, m, r, &rng));
+  }
+}
+
+void BM_OpeningVerify(benchmark::State& state) {
+  Rng rng(1);
+  Scalar m(7), r = Scalar::Random(&rng);
+  auto c = PedersenCommit(m, r);
+  auto proof = verify::ProveOpening(c, m, r, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::VerifyOpening(c, proof));
+  }
+}
+
+void BM_RangeProve(benchmark::State& state) {
+  uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  Scalar r = Scalar::Random(&rng);
+  auto c = PedersenCommit(Scalar(3), r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::ProveRange(c, 3, r, bits, &rng));
+  }
+}
+
+void BM_RangeVerify(benchmark::State& state) {
+  uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  Scalar r = Scalar::Random(&rng);
+  auto c = PedersenCommit(Scalar(3), r);
+  auto proof = verify::ProveRange(c, 3, r, bits, &rng).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::VerifyRange(c, proof));
+  }
+}
+
+void BM_TransferVerify(benchmark::State& state) {
+  Rng rng(1);
+  verify::Note input{100, Scalar::Random(&rng), rng.NextU64()};
+  verify::Note pay, change;
+  auto t = verify::MakeTransfer(input, 30, 16, &rng, &pay, &change)
+               .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::VerifyTransfer(t));
+  }
+}
+
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_MerkleProveVerify)->Arg(256)->Arg(4096);
+BENCHMARK(BM_SignVerify);
+BENCHMARK(BM_PedersenCommit);
+BENCHMARK(BM_OpeningProve);
+BENCHMARK(BM_OpeningVerify);
+BENCHMARK(BM_RangeProve)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_RangeVerify)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_TransferVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

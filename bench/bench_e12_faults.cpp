@@ -1,0 +1,90 @@
+// E12 — fault tolerance (§2.2): BFT protocols keep committing with f
+// Byzantine/crashed replicas; leader failure costs a view change.
+//
+// Series per protocol: throughput with no faults, with a crashed follower,
+// with a crashed leader (measures view-change recovery), and with a
+// silent Byzantine replica. Safety under these faults is asserted by the
+// property tests; this bench quantifies the performance cost.
+#include "bench/bench_util.h"
+#include "consensus/hotstuff.h"
+#include "consensus/pbft.h"
+#include "consensus/tendermint.h"
+
+namespace {
+
+using namespace pbc;
+using bench::SimWorld;
+
+constexpr int kTxns = 150;
+constexpr sim::Time kDeadline = 600'000'000;
+
+enum class Fault { kNone = 0, kCrashFollower, kCrashLeader, kSilentByz };
+
+template <typename ReplicaT>
+void RunFaulted(benchmark::State& state) {
+  Fault fault = static_cast<Fault>(state.range(0));
+  double throughput = 0, view_changes = 0;
+  for (auto _ : state) {
+    SimWorld w(12);
+    consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, 4);
+    std::vector<size_t> skip;
+    switch (fault) {
+      case Fault::kNone:
+        break;
+      case Fault::kCrashFollower:
+        w.net.Crash(3);
+        skip = {3};
+        break;
+      case Fault::kCrashLeader:
+        // Crash the node leading at start for each protocol family:
+        // node 0 leads PBFT view 0; HotStuff view 1 is led by node 1;
+        // crash both effects by killing node 0 after a short run-in —
+        // protocols that don't lead with 0 treat it as a follower crash.
+        skip = {0};
+        break;
+      case Fault::kSilentByz:
+        cluster.replica(2)->set_byzantine_mode(
+            consensus::ByzantineMode::kSilent);
+        skip = {2};
+        break;
+    }
+    w.net.Start();
+    for (int i = 0; i < kTxns; ++i) {
+      cluster.Submit(
+          consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 13), "v"));
+    }
+    if (fault == Fault::kCrashLeader) {
+      w.simulator.Schedule(500, [&w] { w.net.Crash(0); });
+    }
+    bool ok = w.simulator.RunUntil(
+        [&] { return cluster.MinCommitted(skip) >= kTxns; }, kDeadline);
+    throughput = ok ? static_cast<double>(kTxns) /
+                          (static_cast<double>(w.simulator.now()) / 1e6)
+                    : 0;
+    if constexpr (std::is_same_v<ReplicaT, consensus::PbftReplica>) {
+      view_changes = static_cast<double>(cluster.replica(1)->view_changes());
+    }
+  }
+  state.counters["txn_per_simsec"] = throughput;
+  state.counters["view_changes"] = view_changes;
+}
+
+void BM_PBFT(benchmark::State& state) {
+  RunFaulted<consensus::PbftReplica>(state);
+}
+void BM_HotStuff(benchmark::State& state) {
+  RunFaulted<consensus::HotStuffReplica>(state);
+}
+void BM_Tendermint(benchmark::State& state) {
+  RunFaulted<consensus::TendermintReplica>(state);
+}
+
+#define SWEEP Arg(0)->Arg(1)->Arg(2)->Arg(3)->Iterations(1)
+BENCHMARK(BM_PBFT)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tendermint)->SWEEP->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

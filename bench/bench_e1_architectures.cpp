@@ -1,0 +1,70 @@
+// E1 — "the OX architecture suffers from low performance due to the
+// sequential execution of all transactions whereas both OXII and XOV
+// architectures are able to execute transactions in parallel" (§2.3.3).
+//
+// Conflict-free workload with per-transaction contract cost; series =
+// wall-clock throughput per architecture × worker-thread count. Expected
+// shape: OX flat in threads; OXII/XOV/FastFabric scale with threads.
+#include <benchmark/benchmark.h>
+
+#include "arch/architecture.h"
+#include "arch/xov.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+
+constexpr size_t kBlockSize = 128;
+constexpr int kBlocks = 8;
+constexpr int64_t kComputeRounds = 120;  // contract cost per transaction
+
+workload::ZipfianKv MakeGen() {
+  workload::ZipfianKv::Options opt;
+  opt.hot_probability = 0.0;  // conflict-free: isolates execution cost
+  opt.cold_keys = 1 << 20;
+  opt.compute_rounds = kComputeRounds;
+  return workload::ZipfianKv(opt, 1);
+}
+
+template <typename Arch>
+void RunArch(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThreadPool pool(threads);
+    Arch arch(&pool);
+    auto gen = MakeGen();
+    std::vector<std::vector<txn::Transaction>> blocks;
+    for (int b = 0; b < kBlocks; ++b) blocks.push_back(gen.Block(kBlockSize));
+    state.ResumeTiming();
+    for (const auto& block : blocks) arch.ProcessBlock(block);
+    state.PauseTiming();
+    state.counters["committed"] =
+        static_cast<double>(arch.stats().committed);
+    state.ResumeTiming();
+  }
+  state.counters["txn_per_s"] = benchmark::Counter(
+      static_cast<double>(kBlocks * kBlockSize) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_OX(benchmark::State& state) { RunArch<arch::OxArchitecture>(state); }
+void BM_OXII(benchmark::State& state) {
+  RunArch<arch::OxiiArchitecture>(state);
+}
+void BM_XOV(benchmark::State& state) {
+  RunArch<arch::XovArchitecture>(state);
+}
+void BM_FastFabric(benchmark::State& state) {
+  RunArch<arch::FastFabricArchitecture>(state);
+}
+
+BENCHMARK(BM_OX)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OXII)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XOV)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FastFabric)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E2 — "XOV … in the presence of any contention … has to disregard the
+// effects of conflicting transactions which negatively impacts the
+// performance of the blockchain"; "OXII supports contentious workloads by
+// detecting conflicting transactions during the order phase" (§2.3.3).
+//
+// Sweep hot-key probability 0 → 0.9; series = effective (committed)
+// throughput and abort fraction per architecture. Expected shape: XOV's
+// goodput collapses with contention, OXII/OX keep committing everything
+// (OXII degrading only to serial speed), XOX pays re-execution instead of
+// aborting.
+#include <benchmark/benchmark.h>
+
+#include "arch/architecture.h"
+#include "arch/xov.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+
+constexpr size_t kBlockSize = 128;
+constexpr int kBlocks = 8;
+
+template <typename Arch>
+void RunContended(benchmark::State& state) {
+  double hot = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t committed = 0, aborted = 0, total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThreadPool pool(4);
+    Arch arch(&pool);
+    workload::ZipfianKv::Options opt;
+    opt.hot_probability = hot;
+    opt.hot_keys = 4;
+    opt.compute_rounds = 60;
+    workload::ZipfianKv gen(opt, 7);
+    std::vector<std::vector<txn::Transaction>> blocks;
+    for (int b = 0; b < kBlocks; ++b) blocks.push_back(gen.Block(kBlockSize));
+    state.ResumeTiming();
+    for (const auto& block : blocks) arch.ProcessBlock(block);
+    state.PauseTiming();
+    committed = arch.stats().committed;
+    aborted = arch.stats().aborted + arch.stats().early_aborted;
+    total = kBlocks * kBlockSize;
+    state.ResumeTiming();
+  }
+  state.counters["committed_per_s"] = benchmark::Counter(
+      static_cast<double>(committed) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  state.counters["abort_frac"] =
+      static_cast<double>(aborted) / static_cast<double>(total);
+}
+
+void BM_OX(benchmark::State& state) {
+  RunContended<arch::OxArchitecture>(state);
+}
+void BM_OXII(benchmark::State& state) {
+  RunContended<arch::OxiiArchitecture>(state);
+}
+void BM_XOV(benchmark::State& state) {
+  RunContended<arch::XovArchitecture>(state);
+}
+void BM_XOX(benchmark::State& state) {
+  RunContended<arch::XoxArchitecture>(state);
+}
+
+#define SWEEP Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(90)
+BENCHMARK(BM_OX)->SWEEP->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OXII)->SWEEP->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XOV)->SWEEP->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XOX)->SWEEP->UseRealTime()->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

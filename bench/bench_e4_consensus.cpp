@@ -1,0 +1,84 @@
+// E4 — consensus protocol comparison (§2.2, §2.3.3): PBFT's all-to-all
+// phases vs HotStuff's linear votes vs Raft's CFT simplicity vs
+// Tendermint's per-height rounds with rotation.
+//
+// Sweep cluster size; series = simulated-time throughput, mean commit
+// latency, and messages per committed transaction. Expected shape: PBFT
+// msgs/txn grows ~n², HotStuff ~n; Raft cheapest (no signatures, leader
+// fan-out); Tendermint pays a full round per height.
+#include "bench/bench_util.h"
+#include "consensus/hotstuff.h"
+#include "consensus/paxos.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "consensus/tendermint.h"
+
+namespace {
+
+using namespace pbc;
+using bench::LatencyTracker;
+using bench::SimWorld;
+
+constexpr int kTxns = 200;
+constexpr sim::Time kDeadline = 300'000'000;
+
+template <typename ReplicaT>
+void RunConsensus(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  double throughput = 0, latency = 0, msgs_per_txn = 0;
+  for (auto _ : state) {
+    SimWorld w(42);
+    consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, n);
+    LatencyTracker tracker(&w.simulator);
+    cluster.replica(0)->set_commit_listener(
+        [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          for (const auto& t : batch.txns) tracker.Committed(t.id);
+        });
+    w.net.Start();
+    for (int i = 0; i < kTxns; ++i) {
+      auto t = consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 17), "v");
+      tracker.Submitted(t.id);
+      cluster.Submit(t);
+    }
+    bool ok = w.simulator.RunUntil(
+        [&] { return cluster.MinCommitted() >= kTxns; }, kDeadline);
+    sim::Time elapsed = w.simulator.now();
+    throughput = ok ? static_cast<double>(kTxns) /
+                          (static_cast<double>(elapsed) / 1e6)
+                    : 0.0;
+    latency = tracker.MeanUs();
+    msgs_per_txn =
+        static_cast<double>(w.net.stats().messages_sent) / kTxns;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+  state.counters["latency_us"] = latency;
+  state.counters["msgs_per_txn"] = msgs_per_txn;
+}
+
+void BM_PBFT(benchmark::State& state) {
+  RunConsensus<consensus::PbftReplica>(state);
+}
+void BM_Raft(benchmark::State& state) {
+  RunConsensus<consensus::RaftReplica>(state);
+}
+void BM_HotStuff(benchmark::State& state) {
+  RunConsensus<consensus::HotStuffReplica>(state);
+}
+void BM_Tendermint(benchmark::State& state) {
+  RunConsensus<consensus::TendermintReplica>(state);
+}
+void BM_Paxos(benchmark::State& state) {
+  RunConsensus<consensus::PaxosReplica>(state);
+}
+
+#define SWEEP Arg(4)->Arg(7)->Arg(13)->Arg(25)->Iterations(1)
+BENCHMARK(BM_PBFT)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Raft)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Paxos)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tendermint)->SWEEP->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

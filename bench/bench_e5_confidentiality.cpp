@@ -1,0 +1,114 @@
+// E5 — "view-based techniques are costly in managing views … Cryptographic
+// techniques … result in the overhead of maintaining data in the
+// blockchain ledger and blockchain state of irrelevant enterprises"
+// (§2.3.1 Discussion).
+//
+// A fixed confidential-workload (pairs of enterprises sharing secrets
+// inside a 6-enterprise consortium) implemented three ways:
+//   channels    — one extra channel per confidential pair,
+//   pdc         — one private data collection per pair on a single channel,
+//   single      — everything on one channel (no confidentiality; baseline).
+// Series = ledger blocks stored per enterprise (replication/integration
+// cost), admin objects (channels/collections to manage), plaintext
+// replication factor, and wall-clock cost of the hashing overhead.
+#include <benchmark/benchmark.h>
+
+#include "confidential/channels.h"
+#include "confidential/private_data.h"
+
+namespace {
+
+using namespace pbc;
+using namespace pbc::confidential;
+
+constexpr uint32_t kEnterprises = 6;
+constexpr int kTxnsPerPair = 50;
+
+std::vector<std::pair<uint32_t, uint32_t>> Pairs() {
+  // Each adjacent pair shares confidential data.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t e = 0; e + 1 < kEnterprises; ++e) pairs.push_back({e, e + 1});
+  return pairs;
+}
+
+void BM_Channels(benchmark::State& state) {
+  uint64_t blocks_per_enterprise = 0, admin_objects = 0;
+  for (auto _ : state) {
+    ChannelSystem sys;
+    sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});  // the consortium channel
+    uint32_t next = 1;
+    for (auto [a, b] : Pairs()) sys.CreateChannel(next++, {a, b});
+    txn::TxnId id = 1;
+    uint32_t ch = 1;
+    for (auto [a, b] : Pairs()) {
+      for (int i = 0; i < kTxnsPerPair; ++i) {
+        txn::Transaction t;
+        t.id = id++;
+        t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
+        sys.Submit(ch, a, t);
+      }
+      ++ch;
+    }
+    blocks_per_enterprise = sys.LedgerBlocksStoredBy(1);
+    admin_objects = sys.num_channels();
+  }
+  state.counters["ledger_blocks_ent1"] =
+      static_cast<double>(blocks_per_enterprise);
+  state.counters["admin_objects"] = static_cast<double>(admin_objects);
+  state.counters["plaintext_replicas"] = 2;  // only the pair stores data
+}
+
+void BM_PrivateDataCollections(benchmark::State& state) {
+  uint64_t hash_entries = 0, admin_objects = 0;
+  for (auto _ : state) {
+    PdcChannel channel({0, 1, 2, 3, 4, 5});
+    for (auto [a, b] : Pairs()) {
+      channel.DefineCollection("c" + std::to_string(a), {a, b});
+    }
+    admin_objects = Pairs().size();
+    uint64_t salt = 0;
+    for (auto [a, b] : Pairs()) {
+      for (int i = 0; i < kTxnsPerPair; ++i) {
+        channel.PutPrivate("c" + std::to_string(a), a,
+                           "secret" + std::to_string(i), "v", salt++);
+      }
+    }
+    hash_entries = Pairs().size() * kTxnsPerPair;
+  }
+  // Every channel member (all 6) stores every hash: the "data in ledgers
+  // of irrelevant enterprises" overhead.
+  state.counters["onledger_hashes_all_members"] =
+      static_cast<double>(hash_entries);
+  state.counters["admin_objects"] = static_cast<double>(admin_objects);
+  state.counters["plaintext_replicas"] = 2;
+}
+
+void BM_SingleChannelBaseline(benchmark::State& state) {
+  uint64_t blocks = 0;
+  for (auto _ : state) {
+    ChannelSystem sys;
+    sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});
+    txn::TxnId id = 1;
+    for (auto [a, b] : Pairs()) {
+      for (int i = 0; i < kTxnsPerPair; ++i) {
+        txn::Transaction t;
+        t.id = id++;
+        t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
+        sys.Submit(0, a, t);
+      }
+    }
+    blocks = sys.LedgerBlocksStoredBy(1);
+  }
+  state.counters["ledger_blocks_ent1"] = static_cast<double>(blocks);
+  state.counters["admin_objects"] = 1;
+  // No confidentiality: all 6 enterprises hold plaintext.
+  state.counters["plaintext_replicas"] = 6;
+}
+
+BENCHMARK(BM_Channels)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrivateDataCollections)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleChannelBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// E6 — Caper: "each enterprise orders and executes its internal
+// transactions locally while cross-enterprise transactions … require
+// global agreement among all enterprises" (§2.3.1).
+//
+// Caper over real PBFT orderers (one 4-replica cluster per enterprise +
+// one global cluster). Sweep the cross-enterprise fraction; series =
+// simulated throughput and global-cluster load. Baseline: the same
+// workload where EVERY transaction goes through global consensus
+// (single-blockchain deployment). Expected shape: Caper's advantage
+// shrinks as the cross fraction grows; at 100% the two coincide.
+#include "bench/bench_util.h"
+#include "confidential/caper.h"
+#include "consensus/pbft.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+using bench::SimWorld;
+
+constexpr uint32_t kEnterprises = 3;
+constexpr int kTxns = 150;
+constexpr sim::Time kDeadline = 600'000'000;
+
+struct CaperWorld {
+  explicit CaperWorld(SimWorld* w) : caper(kEnterprises) {
+    for (uint32_t e = 0; e < kEnterprises; ++e) {
+      internal.push_back(
+          std::make_unique<consensus::Cluster<consensus::PbftReplica>>(
+              &w->net, &w->registry, 4, consensus::ClusterConfig{},
+              100 * (e + 1)));
+      caper.SetInternalOrderer(
+          e, [this, e](txn::Transaction t,
+                       confidential::CaperSystem::CommitFn commit) {
+            pending[t.id] = commit;
+            internal[e]->Submit(std::move(t));
+          });
+      internal[e]->replica(0)->set_commit_listener(
+          [this](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+            Drain(batch);
+          });
+    }
+    global = std::make_unique<consensus::Cluster<consensus::PbftReplica>>(
+        &w->net, &w->registry, 4, consensus::ClusterConfig{}, 1000);
+    caper.SetGlobalOrderer([this](txn::Transaction t,
+                                  confidential::CaperSystem::CommitFn commit) {
+      pending[t.id] = commit;
+      global->Submit(std::move(t));
+    });
+    global->replica(0)->set_commit_listener(
+        [this](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          Drain(batch);
+        });
+  }
+
+  void Drain(const consensus::Batch& batch) {
+    for (const auto& t : batch.txns) {
+      auto it = pending.find(t.id);
+      if (it != pending.end()) {
+        it->second(t);
+        pending.erase(it);
+      }
+    }
+  }
+
+  confidential::CaperSystem caper;
+  std::vector<std::unique_ptr<consensus::Cluster<consensus::PbftReplica>>>
+      internal;
+  std::unique_ptr<consensus::Cluster<consensus::PbftReplica>> global;
+  std::map<txn::TxnId, confidential::CaperSystem::CommitFn> pending;
+};
+
+void BM_Caper(benchmark::State& state) {
+  double cross_frac = static_cast<double>(state.range(0)) / 100.0;
+  double throughput = 0, global_load = 0;
+  for (auto _ : state) {
+    SimWorld w(5);
+    CaperWorld world(&w);
+    w.net.Start();
+    workload::SupplyChain gen(kEnterprises, cross_frac, 9);
+    int internal_sent = 0, cross_sent = 0;
+    for (int i = 0; i < kTxns; ++i) {
+      auto step = gen.Next();
+      if (step.cross) {
+        world.caper.SubmitCross(step.txn);
+        ++cross_sent;
+      } else {
+        world.caper.SubmitInternal(step.enterprise, step.txn);
+        ++internal_sent;
+      }
+    }
+    bool ok = w.simulator.RunUntil(
+        [&] {
+          return world.caper.internal_committed() +
+                     world.caper.cross_committed() >=
+                 static_cast<uint64_t>(kTxns);
+        },
+        kDeadline);
+    throughput = ok ? static_cast<double>(kTxns) /
+                          (static_cast<double>(w.simulator.now()) / 1e6)
+                    : 0;
+    global_load =
+        static_cast<double>(world.global->replica(0)->committed_txns());
+    state.counters["msgs_per_txn"] =
+        static_cast<double>(w.net.stats().messages_sent) / kTxns;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+  state.counters["global_cluster_txns"] = global_load;
+}
+
+// Baseline: one blockchain — everything is globally ordered.
+void BM_SingleBlockchain(benchmark::State& state) {
+  double throughput = 0;
+  for (auto _ : state) {
+    SimWorld w(5);
+    consensus::Cluster<consensus::PbftReplica> global(
+        &w.net, &w.registry, 4 * kEnterprises, consensus::ClusterConfig{},
+        1000);
+    w.net.Start();
+    // The same mix, but every transaction goes to the global cluster
+    // (namespace checks don't apply in the flat deployment).
+    workload::SupplyChain gen(kEnterprises,
+                              static_cast<double>(state.range(0)) / 100.0,
+                              9);
+    for (int i = 0; i < kTxns; ++i) {
+      global.Submit(gen.Next().txn);
+    }
+    bool ok = w.simulator.RunUntil(
+        [&] { return global.MinCommitted() >= kTxns; }, kDeadline);
+    throughput = ok ? static_cast<double>(kTxns) /
+                          (static_cast<double>(w.simulator.now()) / 1e6)
+                    : 0;
+    state.counters["msgs_per_txn"] =
+        static_cast<double>(w.net.stats().messages_sent) / kTxns;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+}
+
+#define SWEEP Arg(0)->Arg(10)->Arg(30)->Arg(50)->Arg(100)->Iterations(1)
+BENCHMARK(BM_Caper)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleBlockchain)->SWEEP->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E8 — "Partitioning the data into multiple shards … is a proven approach
+// to enhance the scalability"; single-ledger clustering "do[es] not suffer
+// from the latency of processing cross-shard transactions … However,
+// exchanging messages between all clusters for every single transaction
+// still results in high latency" (§1, §2.3.4).
+//
+// Sweep the shard/cluster count at a fixed 10% cross-shard ratio; series =
+// simulated throughput for SharPer (sharded ledger) vs ResilientDB-style
+// (single ledger, full replication). Expected shape: SharPer's throughput
+// grows ~linearly with shards; the single-ledger design pays a global
+// multicast per transaction and flattens out.
+#include "bench/bench_util.h"
+#include "shard/resilientdb.h"
+#include "shard/sharper.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+using bench::SimWorld;
+
+constexpr int kTxnsPerShard = 40;
+constexpr sim::Time kDeadline = 600'000'000;
+
+void BM_SharPer(benchmark::State& state) {
+  uint32_t shards = static_cast<uint32_t>(state.range(0));
+  double throughput = 0;
+  for (auto _ : state) {
+    SimWorld w(8);
+    shard::SharperSystem sys(&w.net, &w.registry, shards);
+    size_t done = 0;
+    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    w.net.Start();
+    workload::ShardedTransfers gen(shards, 20, 1000, 0.1, 3);
+    size_t total = 0;
+    for (auto& d : gen.InitialDeposits()) {
+      sys.Submit(std::move(d));
+      ++total;
+    }
+    w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
+    sim::Time start = w.simulator.now();
+    size_t base = done;
+    size_t txns = kTxnsPerShard * shards;
+    // Closed-loop burst: measures capacity, not arrival rate.
+    for (size_t i = 0; i < txns; ++i) sys.Submit(gen.NextTransfer());
+    bool ok = w.simulator.RunUntil(
+        [&] { return done >= base + txns; }, kDeadline);
+    throughput =
+        ok ? static_cast<double>(txns) /
+                 (static_cast<double>(w.simulator.now() - start) / 1e6)
+           : 0;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+}
+
+void BM_ResilientDB(benchmark::State& state) {
+  uint32_t clusters = static_cast<uint32_t>(state.range(0));
+  double throughput = 0;
+  for (auto _ : state) {
+    SimWorld w(8);
+    shard::ResilientDbSystem sys(&w.net, &w.registry, clusters);
+    size_t done = 0;
+    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    w.net.Start();
+    // Same aggregate load, spread across clusters round-robin; the ledger
+    // is single, so "cross-shard" has no meaning here.
+    workload::ShardedTransfers gen(clusters, 20, 1000, 0.1, 3);
+    size_t txns = kTxnsPerShard * clusters;
+    sim::Time start = w.simulator.now();
+    for (size_t i = 0; i < txns; ++i) {
+      sys.Submit(static_cast<uint32_t>(i % clusters), gen.NextTransfer());
+    }
+    bool ok =
+        w.simulator.RunUntil([&] { return done >= txns; }, kDeadline);
+    throughput =
+        ok ? static_cast<double>(txns) /
+                 (static_cast<double>(w.simulator.now() - start) / 1e6)
+           : 0;
+  }
+  state.counters["txn_per_simsec"] = throughput;
+}
+
+#define SWEEP Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+BENCHMARK(BM_SharPer)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ResilientDB)->SWEEP->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

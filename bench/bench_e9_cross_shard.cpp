@@ -1,0 +1,123 @@
+// E9 — "Centralized processing of cross-shard transactions is simpler …
+// however, a large number of intra- and cross-cluster communication phases
+// is needed. … the decentralized approach … processes transactions in
+// less number of phases … [Saguaro] benefits from the hierarchical
+// structure … the lowest common ancestor of all involved clusters is
+// chosen as the coordinator resulting in lower latency" (§2.3.4).
+//
+// Sweep the cross-shard fraction; series = mean cross-transaction latency
+// and messages/txn for AHL (reference committee), SharPer (flattened), and
+// Saguaro (LCA coordinator on a WAN-like tree). Expected shape: SharPer <
+// Saguaro < AHL in messages; Saguaro beats AHL on latency because nearby
+// fog coordinators replace the far-away committee.
+#include "bench/bench_util.h"
+#include "shard/sharper.h"
+#include "shard/two_phase.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pbc;
+using bench::LatencyTracker;
+using bench::SimWorld;
+
+constexpr uint32_t kShards = 4;
+constexpr int kTxns = 80;
+constexpr sim::Time kDeadline = 900'000'000;
+
+// WAN flavor for Saguaro/AHL comparison: links to the root/committee
+// clusters are slow, fog-level links fast. We model it with a higher
+// default latency for node ids of the committee/root cluster.
+template <typename System>
+void SetupWan(SimWorld* w, System* sys, bool root_is_far,
+              sim::NodeId far_base, size_t far_count) {
+  if (!root_is_far) return;
+  for (sim::NodeId far = far_base; far < far_base + far_count; ++far) {
+    for (sim::NodeId other = 0; other < far_base; ++other) {
+      w->net.SetLinkLatency(far, other, {5000, 500});
+      w->net.SetLinkLatency(other, far, {5000, 500});
+    }
+  }
+  (void)sys;
+}
+
+template <typename MakeSystem>
+void RunCross(benchmark::State& state, MakeSystem make) {
+  double cross_frac = static_cast<double>(state.range(0)) / 100.0;
+  double latency = 0, msgs = 0, committed = 0;
+  for (auto _ : state) {
+    SimWorld w(9);
+    auto sys = make(&w);
+    LatencyTracker tracker(&w.simulator);
+    size_t done = 0;
+    sys->set_listener([&](txn::TxnId id, bool) {
+      tracker.Committed(id);
+      ++done;
+    });
+    w.net.Start();
+    workload::ShardedTransfers gen(kShards, 20, 1000, cross_frac, 4);
+    size_t total = 0;
+    for (auto& d : gen.InitialDeposits()) {
+      sys->Submit(std::move(d));
+      ++total;
+    }
+    w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
+    w.net.ResetStats();
+    size_t base = done;
+    // Open-loop arrivals every 5 ms: keeps no-wait 2PL lock conflicts from
+    // dominating the latency comparison.
+    for (int i = 0; i < kTxns; ++i) {
+      w.simulator.Schedule(
+          static_cast<sim::Time>(i) * 5000,
+          [&sys, &tracker, t = gen.NextTransfer()]() mutable {
+            tracker.Submitted(t.id);
+            sys->Submit(std::move(t));
+          });
+    }
+    bool ok = w.simulator.RunUntil(
+        [&] { return done >= base + kTxns; }, kDeadline);
+    latency = tracker.MeanUs();
+    msgs = static_cast<double>(w.net.stats().messages_sent) / kTxns;
+    committed = ok ? 1 : 0;
+  }
+  state.counters["latency_us"] = latency;
+  state.counters["msgs_per_txn"] = msgs;
+  state.counters["completed"] = committed;
+}
+
+void BM_AHL(benchmark::State& state) {
+  RunCross(state, [](SimWorld* w) {
+    auto sys = std::make_unique<shard::TwoPhaseShardSystem>(
+        &w->net, &w->registry, shard::TwoPhaseConfig::Ahl(kShards));
+    // The reference committee sits "elsewhere": slow links to it.
+    SetupWan(w, sys.get(), true, /*far_base=*/kShards * 5, /*far_count=*/5);
+    return sys;
+  });
+}
+
+void BM_SharPer(benchmark::State& state) {
+  RunCross(state, [](SimWorld* w) {
+    return std::make_unique<shard::SharperSystem>(&w->net, &w->registry,
+                                                  kShards);
+  });
+}
+
+void BM_Saguaro(benchmark::State& state) {
+  RunCross(state, [](SimWorld* w) {
+    auto sys = std::make_unique<shard::TwoPhaseShardSystem>(
+        &w->net, &w->registry, shard::TwoPhaseConfig::Saguaro(kShards, 2));
+    // Only the cloud ROOT (coordinator 0) is far; fog coordinators local.
+    SetupWan(w, sys.get(), true, /*far_base=*/kShards * 5, /*far_count=*/5);
+    return sys;
+  });
+}
+
+#define SWEEP Arg(0)->Arg(10)->Arg(30)->Arg(50)->Arg(100)->Iterations(1)
+BENCHMARK(BM_AHL)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SharPer)->SWEEP->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Saguaro)->SWEEP->Unit(benchmark::kMillisecond);
+#undef SWEEP
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches (E1–E12, see DESIGN.md §5).
+#ifndef PBC_BENCH_BENCH_UTIL_H_
+#define PBC_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "consensus/cluster.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbc::bench {
+
+/// A simulated world with a fresh network + registry.
+struct SimWorld {
+  explicit SimWorld(uint64_t seed, sim::Time base_latency_us = 500,
+                    sim::Time jitter_us = 200)
+      : simulator(seed), net(&simulator) {
+    net.SetDefaultLatency({base_latency_us, jitter_us});
+  }
+  sim::Simulator simulator;
+  sim::Network net;
+  crypto::KeyRegistry registry;
+};
+
+/// Tracks per-transaction submit→commit latency in simulated time.
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(sim::Simulator* simulator)
+      : simulator_(simulator) {}
+
+  void Submitted(txn::TxnId id) { submit_[id] = simulator_->now(); }
+  void Committed(txn::TxnId id) {
+    auto it = submit_.find(id);
+    if (it == submit_.end()) return;
+    total_us_ += simulator_->now() - it->second;
+    ++count_;
+    submit_.erase(it);
+  }
+
+  double MeanUs() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_us_) /
+                             static_cast<double>(count_);
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  sim::Simulator* simulator_;
+  std::map<txn::TxnId, sim::Time> submit_;
+  uint64_t total_us_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace pbc::bench
+
+#endif  // PBC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Quickstart: the paper's Figure 1 — a permissioned blockchain of five
+// known, identified nodes, each maintaining a copy of the hash-chained
+// ledger, agreeing on transaction order with PBFT.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "consensus/cluster.h"
+#include "consensus/pbft.h"
+
+using namespace pbc;
+
+int main() {
+  std::printf("== pbc quickstart: 5-node permissioned blockchain ==\n\n");
+
+  // A deterministic simulated network; every run reproduces exactly.
+  sim::Simulator simulator(/*seed=*/2026);
+  sim::Network net(&simulator);
+  net.SetDefaultLatency({500, 200});  // 0.5–0.7 ms links
+
+  // The membership service: five registered identities (Figure 1).
+  crypto::KeyRegistry registry;
+  consensus::Cluster<consensus::PbftReplica> cluster(&net, &registry, 5);
+  net.Start();
+
+  // Clients submit transactions; any replica relays to the primary.
+  std::printf("submitting 12 transactions...\n");
+  for (int i = 0; i < 12; ++i) {
+    cluster.Submit(consensus::MakeKvTxn(
+        /*id=*/i + 1, "asset/" + std::to_string(i % 4),
+        "owner-" + std::to_string(i)));
+  }
+
+  // Run the network until every replica committed everything.
+  bool done = simulator.RunUntil(
+      [&] { return cluster.MinCommitted() >= 12; }, /*until=*/60'000'000);
+  simulator.Run(simulator.now() + 2'000'000);  // let stragglers drain
+  std::printf("consensus reached: %s (simulated time: %.1f ms)\n\n",
+              done ? "yes" : "NO", simulator.now() / 1000.0);
+
+  // Every node now holds an identical hash-chained ledger.
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const ledger::Chain& chain = cluster.replica(i)->chain();
+    std::printf("node %zu: height=%zu tip=%s committed_txns=%llu audit=%s\n",
+                i, chain.height(), chain.TipHash().ToShortHex().c_str(),
+                static_cast<unsigned long long>(
+                    cluster.replica(i)->committed_txns()),
+                chain.Audit().ok() ? "OK" : "CORRUPT");
+  }
+  std::printf("\nall replicas consistent: %s\n",
+              cluster.ChainsConsistent() ? "yes" : "NO");
+
+  // Immutability: any tampering with history is detected by the audit.
+  ledger::Chain tampered = cluster.replica(0)->chain();
+  tampered.MutableBlockForTest(0)->txns[0].ops[0].value = "stolen";
+  std::printf("tamper detection: %s\n",
+              tampered.Audit().IsCorruption() ? "caught" : "MISSED");
+
+  // Merkle inclusion proof: prove one transaction is in a block without
+  // shipping the block.
+  const auto& chain = cluster.replica(0)->chain();
+  auto proof = chain.ProveInclusion(0, 0);
+  if (proof.ok()) {
+    bool included = ledger::Chain::VerifyInclusion(
+        chain.at(0).header, chain.at(0).txns[0].Digest(),
+        proof.ValueOrDie());
+    std::printf("merkle inclusion proof verifies: %s\n",
+                included ? "yes" : "NO");
+  }
+  return done ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "arch/architecture.h"
+
+namespace pbc::arch {
+
+void Architecture::AppendLedgerBlock(
+    std::vector<txn::Transaction> effective) {
+  ++stats_.blocks;
+  if (effective.empty()) return;
+  ledger::Block block = ledger::Block::Make(
+      chain_.height(), chain_.TipHash(), std::move(effective));
+  Status s = chain_.Append(std::move(block));
+  (void)s;
+}
+
+void OxArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  txn::ExecuteSerial(block, &store_);
+  stats_.committed += block.size();
+  AppendLedgerBlock(block);
+}
+
+void OxiiArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  // Order phase artifact: the dependency graph the orderers would attach.
+  auto graph = txn::DependencyGraph::Build(block);
+  stats_.dag_edges += graph.num_edges();
+  auto exec_stats = txn::ExecuteDag(block, graph, pool_, &store_);
+  stats_.dag_levels += exec_stats.levels;
+  stats_.committed += block.size();
+  AppendLedgerBlock(block);
+}
+
+}  // namespace pbc::arch

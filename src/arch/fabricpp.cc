@@ -1,0 +1,63 @@
+#include "arch/fabricpp.h"
+
+namespace pbc::arch {
+
+void FabricPPArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  auto endorsed = EndorseAll(block);
+  ReorderResult plan = ReorderBlock(endorsed, /*minimal_aborts=*/false);
+  stats_.aborted += plan.aborted.size();
+
+  std::vector<txn::Transaction> effective;
+  for (size_t pos = 0; pos < plan.order.size(); ++pos) {
+    size_t i = plan.order[pos];
+    if (i != pos) ++stats_.reordered;
+    Endorsed& e = endorsed[i];
+    ChargeValidation(*e.txn);
+    if (ValidateAndCommit(&e)) {
+      ++stats_.committed;
+      effective.push_back(*e.txn);
+    } else {
+      ++stats_.aborted;  // cross-block staleness still aborts
+    }
+  }
+  AppendLedgerBlock(std::move(effective));
+}
+
+void FabricSharpArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  auto endorsed = EndorseAll(block);
+
+  // Early filter: transactions whose reads are already stale against the
+  // current state can never pass validation in any intra-block order —
+  // drop them before spending reordering or validation effort on them.
+  std::vector<Endorsed> viable;
+  viable.reserve(endorsed.size());
+  for (auto& e : endorsed) {
+    if (store_.ValidateReadSet(e.result.reads)) {
+      viable.push_back(std::move(e));
+    } else {
+      ++stats_.early_aborted;
+    }
+  }
+
+  ReorderResult plan = ReorderBlock(viable, /*minimal_aborts=*/true);
+  stats_.aborted += plan.aborted.size();
+
+  std::vector<txn::Transaction> effective;
+  for (size_t pos = 0; pos < plan.order.size(); ++pos) {
+    size_t i = plan.order[pos];
+    if (i != pos) ++stats_.reordered;
+    Endorsed& e = viable[i];
+    ChargeValidation(*e.txn);
+    if (ValidateAndCommit(&e)) {
+      ++stats_.committed;
+      effective.push_back(*e.txn);
+    } else {
+      ++stats_.aborted;
+    }
+  }
+  AppendLedgerBlock(std::move(effective));
+}
+
+}  // namespace pbc::arch

@@ -1,0 +1,32 @@
+// Fabric++ and FabricSharp architectures: XOV plus intra-block reordering
+// (see reorder.h for the algorithms and the modeling notes).
+#ifndef PBC_ARCH_FABRICPP_H_
+#define PBC_ARCH_FABRICPP_H_
+
+#include "arch/reorder.h"
+#include "arch/xov.h"
+
+namespace pbc::arch {
+
+/// \brief Fabric++: reorder within the block to a serializable order;
+/// abort every transaction caught on a dependency cycle.
+class FabricPPArchitecture : public XovBase {
+ public:
+  using XovBase::XovBase;
+  const char* name() const override { return "Fabric++"; }
+  void ProcessBlock(const std::vector<txn::Transaction>& block) override;
+};
+
+/// \brief FabricSharp: early-filter transactions that can never commit
+/// (stale reads at ordering time), then reorder aborting only a minimal
+/// feedback vertex set.
+class FabricSharpArchitecture : public XovBase {
+ public:
+  using XovBase::XovBase;
+  const char* name() const override { return "FabricSharp"; }
+  void ProcessBlock(const std::vector<txn::Transaction>& block) override;
+};
+
+}  // namespace pbc::arch
+
+#endif  // PBC_ARCH_FABRICPP_H_

@@ -1,0 +1,192 @@
+#include "arch/reorder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pbc::arch {
+
+std::vector<std::vector<size_t>> BuildConflictGraph(
+    const std::vector<Endorsed>& endorsed) {
+  size_t n = endorsed.size();
+  // key -> writers
+  std::map<store::Key, std::vector<size_t>> writers;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& w : endorsed[i].result.writes.writes()) {
+      writers[w.key].push_back(i);
+    }
+  }
+  std::vector<std::set<size_t>> adj_sets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& r : endorsed[i].result.reads) {
+      auto it = writers.find(r.key);
+      if (it == writers.end()) continue;
+      for (size_t w : it->second) {
+        if (w != i) adj_sets[i].insert(w);  // reader i before writer w
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> adjacency(n);
+  for (size_t i = 0; i < n; ++i) {
+    adjacency[i].assign(adj_sets[i].begin(), adj_sets[i].end());
+  }
+  return adjacency;
+}
+
+namespace {
+
+struct TarjanState {
+  const std::vector<std::vector<size_t>>* adj;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<size_t> stack;
+  int next_index = 0;
+  std::vector<std::vector<size_t>> sccs;
+
+  void Visit(size_t v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w : (*adj)[v]) {
+      if (index[w] < 0) {
+        Visit(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<size_t> scc;
+      for (;;) {
+        size_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+// Greedy feedback vertex set inside one SCC: repeatedly remove the vertex
+// with the largest (in-degree × out-degree) until the remaining subgraph
+// is acyclic, recursing on residual SCCs.
+void BreakCycles(const std::vector<std::vector<size_t>>& adjacency,
+                 std::vector<size_t> members, std::set<size_t>* removed) {
+  if (members.size() <= 1) return;
+  std::set<size_t> alive(members.begin(), members.end());
+
+  // Degrees restricted to the alive subgraph.
+  auto pick_victim = [&]() {
+    std::map<size_t, size_t> in_deg, out_deg;
+    for (size_t u : alive) {
+      for (size_t v : adjacency[u]) {
+        if (alive.count(v) > 0) {
+          out_deg[u]++;
+          in_deg[v]++;
+        }
+      }
+    }
+    size_t best = *alive.begin();
+    size_t best_score = 0;
+    for (size_t u : alive) {
+      size_t score = (in_deg[u] + 1) * (out_deg[u] + 1);
+      if (score > best_score) {
+        best_score = score;
+        best = u;
+      }
+    }
+    return best;
+  };
+
+  // Remove victims until the alive subgraph has no non-trivial SCC.
+  for (;;) {
+    // Build subgraph with compact ids.
+    std::vector<size_t> ids(alive.begin(), alive.end());
+    std::map<size_t, size_t> to_compact;
+    for (size_t i = 0; i < ids.size(); ++i) to_compact[ids[i]] = i;
+    std::vector<std::vector<size_t>> sub(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t v : adjacency[ids[i]]) {
+        auto it = to_compact.find(v);
+        if (it != to_compact.end()) sub[i].push_back(it->second);
+      }
+    }
+    auto sccs = StronglyConnectedComponents(sub);
+    bool cyclic = false;
+    for (const auto& scc : sccs) {
+      if (scc.size() > 1) {
+        cyclic = true;
+        break;
+      }
+      // Self-loops cannot occur: a txn never conflicts with itself.
+    }
+    if (!cyclic) return;
+    size_t victim = pick_victim();
+    removed->insert(victim);
+    alive.erase(victim);
+    if (alive.size() <= 1) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> StronglyConnectedComponents(
+    const std::vector<std::vector<size_t>>& adjacency) {
+  TarjanState st;
+  st.adj = &adjacency;
+  size_t n = adjacency.size();
+  st.index.assign(n, -1);
+  st.lowlink.assign(n, 0);
+  st.on_stack.assign(n, false);
+  for (size_t v = 0; v < n; ++v) {
+    if (st.index[v] < 0) st.Visit(v);
+  }
+  return st.sccs;
+}
+
+ReorderResult ReorderBlock(const std::vector<Endorsed>& endorsed,
+                           bool minimal_aborts) {
+  size_t n = endorsed.size();
+  auto adjacency = BuildConflictGraph(endorsed);
+  auto sccs = StronglyConnectedComponents(adjacency);
+
+  std::set<size_t> removed;
+  for (const auto& scc : sccs) {
+    if (scc.size() <= 1) continue;
+    if (minimal_aborts) {
+      BreakCycles(adjacency, scc, &removed);  // FabricSharp
+    } else {
+      removed.insert(scc.begin(), scc.end());  // Fabric++
+    }
+  }
+
+  // Kahn topological sort of the surviving vertices, preferring original
+  // block order among ready vertices (stable, deterministic).
+  std::vector<size_t> in_deg(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    if (removed.count(u) > 0) continue;
+    for (size_t v : adjacency[u]) {
+      if (removed.count(v) == 0) ++in_deg[v];
+    }
+  }
+  ReorderResult result;
+  result.aborted.assign(removed.begin(), removed.end());
+  std::set<size_t> ready;
+  for (size_t u = 0; u < n; ++u) {
+    if (removed.count(u) == 0 && in_deg[u] == 0) ready.insert(u);
+  }
+  while (!ready.empty()) {
+    size_t u = *ready.begin();
+    ready.erase(ready.begin());
+    result.order.push_back(u);
+    for (size_t v : adjacency[u]) {
+      if (removed.count(v) > 0) continue;
+      if (--in_deg[v] == 0) ready.insert(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace pbc::arch

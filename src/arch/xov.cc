@@ -1,0 +1,112 @@
+#include "arch/xov.h"
+
+#include "crypto/sha256.h"
+
+namespace pbc::arch {
+
+std::vector<Endorsed> XovBase::EndorseAll(
+    const std::vector<txn::Transaction>& block) {
+  std::vector<Endorsed> endorsed(block.size());
+  store::Version snapshot = store_.last_committed();
+  const store::KvStore* cstore = &store_;
+  pool_->ParallelFor(block.size(), [&](size_t i) {
+    endorsed[i].txn = &block[i];
+    endorsed[i].result =
+        txn::Execute(block[i], txn::SnapshotReader(cstore, snapshot));
+  });
+  return endorsed;
+}
+
+void XovBase::ChargeValidation(const txn::Transaction& txn) const {
+  if (validation_cost_ <= 0) return;
+  crypto::Hash256 acc = txn.Digest();
+  for (int i = 0; i < validation_cost_; ++i) {
+    crypto::Sha256 h;
+    h.Update(acc);
+    acc = h.Finalize();
+  }
+  // Keep the loop observable.
+  if (acc.bytes[0] == 0xff && acc.bytes[1] == 0xff && acc.bytes[2] == 0xff &&
+      acc.bytes[3] == 0xff && acc.bytes[4] == 0xff) {
+    std::abort();  // probability ~2^-40; defeats dead-code elimination
+  }
+}
+
+bool XovBase::ValidateAndCommit(Endorsed* e) {
+  if (!store_.ValidateReadSet(e->result.reads)) {
+    e->valid = false;
+    return false;
+  }
+  if (!e->result.writes.empty()) {
+    store_.ApplyBatch(e->result.writes, store_.last_committed() + 1);
+  }
+  return true;
+}
+
+void XovArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  auto endorsed = EndorseAll(block);
+  std::vector<txn::Transaction> effective;
+  for (auto& e : endorsed) {
+    ChargeValidation(*e.txn);  // serial validation pipeline
+    if (ValidateAndCommit(&e)) {
+      ++stats_.committed;
+      effective.push_back(*e.txn);
+    } else {
+      ++stats_.aborted;
+    }
+  }
+  AppendLedgerBlock(std::move(effective));
+}
+
+void FastFabricArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  auto endorsed = EndorseAll(block);
+  // Parallel validation pipeline: the per-transaction checks (signature,
+  // endorsement policy — modeled by ChargeValidation) are independent and
+  // run across the pool. The MVCC check + commit remains a fast serial
+  // scan, as in FastFabric's design.
+  pool_->ParallelFor(endorsed.size(),
+                     [&](size_t i) { ChargeValidation(*endorsed[i].txn); });
+  std::vector<txn::Transaction> effective;
+  for (auto& e : endorsed) {
+    if (ValidateAndCommit(&e)) {
+      ++stats_.committed;
+      effective.push_back(*e.txn);
+    } else {
+      ++stats_.aborted;
+    }
+  }
+  AppendLedgerBlock(std::move(effective));
+}
+
+void XoxArchitecture::ProcessBlock(
+    const std::vector<txn::Transaction>& block) {
+  auto endorsed = EndorseAll(block);
+  std::vector<txn::Transaction> effective;
+  std::vector<const txn::Transaction*> invalidated;
+  for (auto& e : endorsed) {
+    ChargeValidation(*e.txn);
+    if (ValidateAndCommit(&e)) {
+      ++stats_.committed;
+      effective.push_back(*e.txn);
+    } else {
+      invalidated.push_back(e.txn);
+    }
+  }
+  // Post-order execution step: deterministically re-execute the
+  // invalidated transactions against fresh state, in block order. Every
+  // replica performs the same re-execution, so determinism is preserved.
+  for (const txn::Transaction* t : invalidated) {
+    txn::ExecResult r = txn::Execute(*t, txn::LatestReader(&store_));
+    if (!r.writes.empty()) {
+      store_.ApplyBatch(r.writes, store_.last_committed() + 1);
+    }
+    ++stats_.reexecuted;
+    ++stats_.committed;
+    effective.push_back(*t);
+  }
+  AppendLedgerBlock(std::move(effective));
+}
+
+}  // namespace pbc::arch

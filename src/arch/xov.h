@@ -1,0 +1,85 @@
+// The XOV (execute-order-validate) family: Hyperledger Fabric and the
+// optimizations built on it (§2.3.3).
+//
+//   XOV (Fabric)  — endorse against the pre-block snapshot, order, then
+//                   MVCC-validate serially; stale reads abort.
+//   FastFabric    — identical semantics, but the validation pipeline
+//                   (signature + rwset checks) runs in parallel.
+//   XOX Fabric    — adds a post-order execution step that deterministically
+//                   re-executes invalidated transactions against fresh
+//                   state instead of aborting them.
+//
+// Endorsement is simulated execution: it produces a read set (with observed
+// versions) and a write set but does NOT mutate state — exactly Fabric's
+// endorsement phase. All endorsements for a block run against the same
+// snapshot (the state at block entry), which is what makes intra-block
+// read-write conflicts possible and is the behaviour Fabric++/FabricSharp
+// exist to fix (see reorder.h).
+#ifndef PBC_ARCH_XOV_H_
+#define PBC_ARCH_XOV_H_
+
+#include "arch/architecture.h"
+
+namespace pbc::arch {
+
+/// \brief One endorsed transaction: the proposal plus its rwset.
+struct Endorsed {
+  const txn::Transaction* txn = nullptr;
+  txn::ExecResult result;
+  bool valid = true;  ///< set by the validation phase
+};
+
+/// \brief Shared XOV machinery.
+class XovBase : public Architecture {
+ public:
+  /// `validation_cost_rounds`: hash rounds charged per transaction during
+  /// validation (models signature/endorsement-policy checking — the cost
+  /// FastFabric parallelizes).
+  XovBase(ThreadPool* pool, int validation_cost_rounds = 0)
+      : Architecture(pool), validation_cost_(validation_cost_rounds) {}
+
+ protected:
+  /// Phase X: endorse every transaction in parallel against the current
+  /// committed state (the pre-block snapshot).
+  std::vector<Endorsed> EndorseAll(
+      const std::vector<txn::Transaction>& block);
+
+  /// Burns the per-transaction validation cost (deterministic hashing).
+  void ChargeValidation(const txn::Transaction& txn) const;
+
+  /// Phase V for one txn: MVCC-check its read set against current state;
+  /// on success apply writes. Returns whether it committed.
+  bool ValidateAndCommit(Endorsed* e);
+
+  int validation_cost_;
+};
+
+/// \brief Plain Fabric: serial validation, conflicting transactions abort.
+class XovArchitecture : public XovBase {
+ public:
+  using XovBase::XovBase;
+  const char* name() const override { return "XOV"; }
+  void ProcessBlock(const std::vector<txn::Transaction>& block) override;
+};
+
+/// \brief FastFabric: the expensive per-transaction validation checks run
+/// in parallel; only the (cheap) sequential commit step is serial.
+class FastFabricArchitecture : public XovBase {
+ public:
+  using XovBase::XovBase;
+  const char* name() const override { return "FastFabric"; }
+  void ProcessBlock(const std::vector<txn::Transaction>& block) override;
+};
+
+/// \brief XOX Fabric: invalidated transactions are re-executed
+/// deterministically after validation instead of aborting.
+class XoxArchitecture : public XovBase {
+ public:
+  using XovBase::XovBase;
+  const char* name() const override { return "XOX"; }
+  void ProcessBlock(const std::vector<txn::Transaction>& block) override;
+};
+
+}  // namespace pbc::arch
+
+#endif  // PBC_ARCH_XOV_H_

@@ -1,0 +1,44 @@
+#include "common/bytes.h"
+
+namespace pbc {
+
+Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string ToString(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string HexEncode(const Bytes& b) { return HexEncode(b.data(), b.size()); }
+
+void Append(Bytes* dst, const Bytes& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void AppendU64(Bytes* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst->push_back((v >> (8 * i)) & 0xff);
+}
+
+void AppendU32(Bytes* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst->push_back((v >> (8 * i)) & 0xff);
+}
+
+void AppendLengthPrefixed(Bytes* dst, const Bytes& src) {
+  AppendU32(dst, static_cast<uint32_t>(src.size()));
+  Append(dst, src);
+}
+
+void AppendLengthPrefixed(Bytes* dst, const std::string& src) {
+  AppendU32(dst, static_cast<uint32_t>(src.size()));
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+}  // namespace pbc

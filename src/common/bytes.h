@@ -1,0 +1,38 @@
+// Byte-vector utilities shared across crypto, ledger, and protocols.
+#ifndef PBC_COMMON_BYTES_H_
+#define PBC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbc {
+
+using Bytes = std::vector<uint8_t>;
+
+/// \brief Converts a UTF-8 string to bytes.
+Bytes ToBytes(const std::string& s);
+
+/// \brief Converts bytes to a std::string (may contain NULs).
+std::string ToString(const Bytes& b);
+
+/// \brief Lowercase hex encoding.
+std::string HexEncode(const Bytes& b);
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// \brief Appends `src` to `dst`.
+void Append(Bytes* dst, const Bytes& src);
+
+/// \brief Appends a 64-bit value little-endian.
+void AppendU64(Bytes* dst, uint64_t v);
+
+/// \brief Appends a 32-bit value little-endian.
+void AppendU32(Bytes* dst, uint32_t v);
+
+/// \brief Appends a length-prefixed byte string (u32 length).
+void AppendLengthPrefixed(Bytes* dst, const Bytes& src);
+void AppendLengthPrefixed(Bytes* dst, const std::string& src);
+
+}  // namespace pbc
+
+#endif  // PBC_COMMON_BYTES_H_

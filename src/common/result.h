@@ -1,0 +1,78 @@
+// Arrow-style Result<T>: a value or a Status.
+#ifndef PBC_COMMON_RESULT_H_
+#define PBC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pbc {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`: functions that can fail return
+/// `Result<T>` instead of throwing; callers use `ok()` /
+/// `ValueOrDie()` / `status()`, or `PBC_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  /// Alias matching arrow::Result vocabulary.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns its status, on
+/// success binds the value to `lhs`.
+#define PBC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)   \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PBC_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define PBC_ASSIGN_OR_RETURN_NAME(x, y) PBC_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define PBC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PBC_ASSIGN_OR_RETURN_IMPL(             \
+      PBC_ASSIGN_OR_RETURN_NAME(_pbc_result_, __LINE__), lhs, rexpr)
+
+}  // namespace pbc
+
+#endif  // PBC_COMMON_RESULT_H_

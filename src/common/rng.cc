@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pbc {
+
+Zipfian::Zipfian(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double Zipfian::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+uint64_t Zipfian::Next(Rng* rng) {
+  if (theta_ <= 1e-9) return rng->NextU64(n_);
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace pbc

@@ -1,0 +1,73 @@
+// Seeded deterministic RNG used everywhere (simulator, workloads, tests).
+#ifndef PBC_COMMON_RNG_H_
+#define PBC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace pbc {
+
+/// \brief Deterministic random source.
+///
+/// A run of the simulator is a pure function of (config, seed); all
+/// randomness flows through explicitly seeded `Rng` instances so that any
+/// failure found by a property test is replayable from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextU64(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  uint64_t NextU64() {
+    return std::uniform_int_distribution<uint64_t>()(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipfian distribution over [0, n) with skew `theta` (0 = uniform).
+///
+/// Standard YCSB-style generator; higher theta concentrates mass on low
+/// ranks, which workload generators map to "hot" keys.
+class Zipfian {
+ public:
+  Zipfian(uint64_t n, double theta);
+
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace pbc
+
+#endif  // PBC_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+// Fixed-size thread pool used by parallel execution engines (OXII / XOV
+// validation pipelines). Protocol logic itself runs single-threaded in the
+// simulator; the pool only parallelizes deterministic transaction execution.
+#ifndef PBC_COMMON_THREAD_POOL_H_
+#define PBC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pbc {
+
+/// \brief A minimal fixed-size worker pool with a Wait() barrier.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pbc
+
+#endif  // PBC_COMMON_THREAD_POOL_H_

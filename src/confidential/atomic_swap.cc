@@ -1,0 +1,141 @@
+#include "confidential/atomic_swap.h"
+
+namespace pbc::confidential {
+
+void HtlcLedger::Mint(PartyId party, AssetAmount amount) {
+  balances_[party] += amount;
+}
+
+AssetAmount HtlcLedger::BalanceOf(PartyId party) const {
+  auto it = balances_.find(party);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+Result<uint64_t> HtlcLedger::Lock(PartyId sender, PartyId recipient,
+                                  AssetAmount amount,
+                                  const crypto::Hash256& hash_lock,
+                                  uint64_t timeout) {
+  if (amount <= 0) return Status::InvalidArgument("amount must be positive");
+  if (BalanceOf(sender) < amount) {
+    return Status::InvalidArgument("insufficient funds to lock");
+  }
+  if (timeout <= now_) {
+    return Status::InvalidArgument("timeout must lie in the future");
+  }
+  balances_[sender] -= amount;
+  Htlc contract;
+  contract.id = next_id_++;
+  contract.sender = sender;
+  contract.recipient = recipient;
+  contract.amount = amount;
+  contract.hash_lock = hash_lock;
+  contract.timeout = timeout;
+  contracts_[contract.id] = contract;
+  return contract.id;
+}
+
+Status HtlcLedger::Redeem(uint64_t id, PartyId redeemer,
+                          const Bytes& preimage) {
+  auto it = contracts_.find(id);
+  if (it == contracts_.end()) return Status::NotFound("no such contract");
+  Htlc& c = it->second;
+  if (c.redeemed || c.refunded) {
+    return Status::AlreadyExists("contract already settled");
+  }
+  if (redeemer != c.recipient) {
+    return Status::PermissionDenied("only the recipient may redeem");
+  }
+  if (now_ >= c.timeout) {
+    return Status::TimedOut("redeem window closed");
+  }
+  if (crypto::Sha256::Digest(preimage) != c.hash_lock) {
+    return Status::Corruption("preimage does not match the hash lock");
+  }
+  c.redeemed = true;
+  balances_[c.recipient] += c.amount;
+  revealed_[id] = preimage;  // the preimage is now public on this chain
+  return Status::OK();
+}
+
+Status HtlcLedger::Refund(uint64_t id, PartyId requester) {
+  auto it = contracts_.find(id);
+  if (it == contracts_.end()) return Status::NotFound("no such contract");
+  Htlc& c = it->second;
+  if (c.redeemed || c.refunded) {
+    return Status::AlreadyExists("contract already settled");
+  }
+  if (requester != c.sender) {
+    return Status::PermissionDenied("only the sender may refund");
+  }
+  if (now_ < c.timeout) {
+    return Status::Unavailable("timeout has not passed yet");
+  }
+  c.refunded = true;
+  balances_[c.sender] += c.amount;
+  return Status::OK();
+}
+
+const Htlc* HtlcLedger::contract(uint64_t id) const {
+  auto it = contracts_.find(id);
+  return it == contracts_.end() ? nullptr : &it->second;
+}
+
+Result<Bytes> HtlcLedger::RevealedPreimage(uint64_t id) const {
+  auto it = revealed_.find(id);
+  if (it == revealed_.end()) {
+    return Status::NotFound("no preimage revealed for this contract");
+  }
+  return it->second;
+}
+
+AtomicSwap::AtomicSwap(HtlcLedger* chain_a, HtlcLedger* chain_b,
+                       Params params)
+    : a_(chain_a), b_(chain_b), p_(params) {}
+
+Status AtomicSwap::AliceLock(const Bytes& secret) {
+  secret_ = secret;
+  hash_lock_ = crypto::Sha256::Digest(secret);
+  // Alice's lock must outlive Bob's by Δ so Bob can always redeem after
+  // she reveals the secret.
+  PBC_ASSIGN_OR_RETURN(
+      contract_a_, a_->Lock(p_.alice, p_.bob, p_.amount_a, hash_lock_,
+                            a_->now() + 2 * p_.delta));
+  return Status::OK();
+}
+
+Status AtomicSwap::BobLock() {
+  const Htlc* alices = a_->contract(contract_a_);
+  if (alices == nullptr) return Status::NotFound("Alice has not locked");
+  // Bob verifies the terms on chain A before committing his asset.
+  if (alices->recipient != p_.bob || alices->amount != p_.amount_a) {
+    return Status::InvalidArgument("chain-A contract terms mismatch");
+  }
+  if (alices->timeout < a_->now() + 2 * p_.delta) {
+    return Status::InvalidArgument("chain-A timeout too tight for safety");
+  }
+  PBC_ASSIGN_OR_RETURN(
+      contract_b_, b_->Lock(p_.bob, p_.alice, p_.amount_b,
+                            alices->hash_lock, b_->now() + p_.delta));
+  return Status::OK();
+}
+
+Status AtomicSwap::AliceRedeem() {
+  return b_->Redeem(contract_b_, p_.alice, secret_);
+}
+
+Status AtomicSwap::BobRedeem() {
+  // Bob does NOT know Alice's secret; he learns it from chain B, where her
+  // redeem published it.
+  PBC_ASSIGN_OR_RETURN(Bytes preimage, b_->RevealedPreimage(contract_b_));
+  return a_->Redeem(contract_a_, p_.bob, preimage);
+}
+
+Status AtomicSwap::RefundAll() {
+  Status sa = contract_a_ == 0 ? Status::OK() : a_->Refund(contract_a_, p_.alice);
+  Status sb = contract_b_ == 0 ? Status::OK() : b_->Refund(contract_b_, p_.bob);
+  if (!sa.ok() && sa.code() != StatusCode::kAlreadyExists) return sa;
+  if (!sb.ok() && sb.code() != StatusCode::kAlreadyExists) return sb;
+  return Status::OK();
+}
+
+}  // namespace pbc::confidential

@@ -1,0 +1,114 @@
+// Caper [8]: confidentiality via per-enterprise views of a DAG ledger
+// (§2.3.1 of the survey).
+//
+// Each enterprise maintains private data (namespaced "ent<i>/") touched
+// only by its internal transactions, which it orders and executes locally,
+// plus public data ("shared/") touched by cross-enterprise transactions,
+// which require global agreement. No node stores the whole DAG: an
+// enterprise's nodes hold its own internal chain plus all cross vertices
+// (ledger::DagLedger::ViewOf).
+//
+// Ordering is pluggable: `CaperSystem` calls an `InternalOrderer` per
+// enterprise and a `GlobalOrderer` for cross transactions. The default
+// orderers are immediate sequencers (for unit tests and execution-focused
+// benches); the sim-integrated benchmark (E6) plugs PBFT clusters into both
+// roles so the latency/throughput gap between local and global ordering is
+// actually measured, not assumed.
+#ifndef PBC_CONFIDENTIAL_CAPER_H_
+#define PBC_CONFIDENTIAL_CAPER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "ledger/dag_ledger.h"
+#include "store/kv_store.h"
+#include "txn/transaction.h"
+
+namespace pbc::confidential {
+
+/// \brief Per-enterprise state: the private store, the public replica, and
+/// this enterprise's view of the DAG ledger.
+class CaperEnterprise {
+ public:
+  explicit CaperEnterprise(txn::EnterpriseId id) : id_(id) {}
+
+  txn::EnterpriseId id() const { return id_; }
+  const store::KvStore& private_store() const { return private_store_; }
+  const store::KvStore& public_store() const { return public_store_; }
+  const std::vector<ledger::DagVertex>& view() const { return view_; }
+
+  /// Applies a committed internal transaction (executes on private state).
+  void ApplyInternal(const ledger::DagVertex& vertex);
+  /// Applies a committed cross transaction (executes on public state).
+  void ApplyCross(const ledger::DagVertex& vertex);
+
+ private:
+  txn::EnterpriseId id_;
+  store::KvStore private_store_;
+  store::KvStore public_store_;
+  std::vector<ledger::DagVertex> view_;
+};
+
+/// \brief The multi-enterprise Caper deployment.
+class CaperSystem {
+ public:
+  /// Orderer callbacks: invoked with the transaction; must eventually call
+  /// the provided commit function exactly once. The default (nullptr)
+  /// commits immediately (an in-process sequencer).
+  using CommitFn = std::function<void(txn::Transaction)>;
+  using OrdererFn = std::function<void(txn::Transaction, CommitFn)>;
+
+  explicit CaperSystem(uint32_t num_enterprises);
+
+  /// Overrides the orderer used for enterprise-internal transactions.
+  void SetInternalOrderer(txn::EnterpriseId enterprise, OrdererFn orderer);
+  /// Overrides the orderer used for cross-enterprise transactions.
+  void SetGlobalOrderer(OrdererFn orderer);
+
+  /// Submits an internal transaction of `enterprise`. Its ops must touch
+  /// only that enterprise's namespace ("ent<i>/…"); anything else is
+  /// rejected with PermissionDenied — that is the confidentiality wall.
+  Status SubmitInternal(txn::EnterpriseId enterprise, txn::Transaction txn);
+
+  /// Submits a cross-enterprise transaction. Ops must touch only the
+  /// shared namespace ("shared/…").
+  Status SubmitCross(txn::Transaction txn);
+
+  const CaperEnterprise& enterprise(txn::EnterpriseId e) const {
+    return *enterprises_[e];
+  }
+  uint32_t num_enterprises() const {
+    return static_cast<uint32_t>(enterprises_.size());
+  }
+
+  /// The notional global DAG (kept for audits/tests; a real deployment
+  /// never materializes it — see DESIGN.md).
+  const ledger::DagLedger& global_dag() const { return dag_; }
+
+  /// Key namespace helpers.
+  static std::string PrivateKeyFor(txn::EnterpriseId e,
+                                   const std::string& suffix);
+  static std::string SharedKey(const std::string& suffix);
+  static bool IsPrivateKeyOf(const store::Key& key, txn::EnterpriseId e);
+  static bool IsSharedKey(const store::Key& key);
+
+  uint64_t internal_committed() const { return internal_committed_; }
+  uint64_t cross_committed() const { return cross_committed_; }
+
+ private:
+  void CommitInternal(txn::EnterpriseId enterprise, txn::Transaction txn);
+  void CommitCross(txn::Transaction txn);
+
+  ledger::DagLedger dag_;
+  std::vector<std::unique_ptr<CaperEnterprise>> enterprises_;
+  std::vector<OrdererFn> internal_orderers_;
+  OrdererFn global_orderer_;
+  uint64_t internal_committed_ = 0;
+  uint64_t cross_committed_ = 0;
+};
+
+}  // namespace pbc::confidential
+
+#endif  // PBC_CONFIDENTIAL_CAPER_H_

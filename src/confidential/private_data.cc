@@ -1,0 +1,127 @@
+#include "confidential/private_data.h"
+
+namespace pbc::confidential {
+
+crypto::Hash256 PdcChannel::HashPrivate(const store::Key& key,
+                                        const store::Value& value,
+                                        uint64_t salt) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-pdc"));
+  h.Update(key);
+  h.Update(value);
+  h.UpdateU64(salt);
+  return h.Finalize();
+}
+
+Status PdcChannel::DefineCollection(const CollectionId& id,
+                                    std::set<txn::EnterpriseId> members) {
+  if (collections_.count(id) > 0) {
+    return Status::AlreadyExists("collection exists: " + id);
+  }
+  for (txn::EnterpriseId e : members) {
+    if (members_.count(e) == 0) {
+      return Status::InvalidArgument(
+          "collection member is not a channel member");
+    }
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument("collection needs at least one member");
+  }
+  Collection col;
+  col.members = members;
+  for (txn::EnterpriseId e : members) col.stores[e];  // create stores
+  collections_[id] = std::move(col);
+  return Status::OK();
+}
+
+bool PdcChannel::IsCollectionMember(const CollectionId& c,
+                                    txn::EnterpriseId e) const {
+  auto it = collections_.find(c);
+  return it != collections_.end() && it->second.members.count(e) > 0;
+}
+
+Status PdcChannel::PutPrivate(const CollectionId& collection,
+                              txn::EnterpriseId writer, const store::Key& key,
+                              const store::Value& value, uint64_t salt) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return Status::NotFound("no such collection");
+  if (it->second.members.count(writer) == 0) {
+    return Status::PermissionDenied("writer is not a collection member");
+  }
+  // Plaintext to every member's private store.
+  for (auto& [member, kv] : it->second.stores) {
+    store::WriteBatch batch;
+    batch.Put(key, value);
+    kv.ApplyBatch(batch, kv.last_committed() + 1);
+  }
+  // Salted hash onto the public channel state for everyone.
+  crypto::Hash256 digest = HashPrivate(key, value, salt);
+  store::WriteBatch pub;
+  pub.Put("pdc/" + collection + "/" + key,
+          std::string(digest.bytes.begin(), digest.bytes.end()));
+  public_store_.ApplyBatch(pub, public_store_.last_committed() + 1);
+  return Status::OK();
+}
+
+Result<store::VersionedValue> PdcChannel::GetPrivate(
+    const CollectionId& collection, txn::EnterpriseId reader,
+    const store::Key& key) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return Status::NotFound("no such collection");
+  if (it->second.members.count(reader) == 0) {
+    return Status::PermissionDenied("reader is not a collection member");
+  }
+  return it->second.stores.at(reader).Get(key);
+}
+
+Result<crypto::Hash256> PdcChannel::GetOnLedgerHash(
+    txn::EnterpriseId reader, const CollectionId& collection,
+    const store::Key& key) const {
+  if (members_.count(reader) == 0) {
+    return Status::PermissionDenied("reader is not a channel member");
+  }
+  auto v = public_store_.Get("pdc/" + collection + "/" + key);
+  if (!v.ok()) return v.status();
+  const store::Value& raw = v.ValueOrDie().value;
+  if (raw.size() != 32) return Status::Corruption("malformed on-ledger hash");
+  crypto::Hash256 h;
+  std::copy(raw.begin(), raw.end(), h.bytes.begin());
+  return h;
+}
+
+Result<bool> PdcChannel::VerifyOpening(txn::EnterpriseId reader,
+                                       const CollectionId& collection,
+                                       const store::Key& key,
+                                       const store::Value& value,
+                                       uint64_t salt) const {
+  PBC_ASSIGN_OR_RETURN(crypto::Hash256 on_ledger,
+                       GetOnLedgerHash(reader, collection, key));
+  return HashPrivate(key, value, salt) == on_ledger;
+}
+
+Status PdcChannel::PutPublic(txn::EnterpriseId writer, const store::Key& key,
+                             const store::Value& value) {
+  if (members_.count(writer) == 0) {
+    return Status::PermissionDenied("writer is not a channel member");
+  }
+  store::WriteBatch batch;
+  batch.Put(key, value);
+  public_store_.ApplyBatch(batch, public_store_.last_committed() + 1);
+  return Status::OK();
+}
+
+Result<store::VersionedValue> PdcChannel::GetPublic(
+    txn::EnterpriseId reader, const store::Key& key) const {
+  if (members_.count(reader) == 0) {
+    return Status::PermissionDenied("reader is not a channel member");
+  }
+  return public_store_.Get(key);
+}
+
+Result<size_t> PdcChannel::CollectionReplication(const CollectionId& c) const {
+  auto it = collections_.find(c);
+  if (it == collections_.end()) return Status::NotFound("no such collection");
+  return it->second.members.size();
+}
+
+}  // namespace pbc::confidential

@@ -1,0 +1,277 @@
+#include "consensus/hotstuff.h"
+
+#include <algorithm>
+
+namespace pbc::consensus {
+
+crypto::Hash256 HsTreeNode::ComputeHash(const crypto::Hash256& parent,
+                                        uint64_t view,
+                                        const crypto::Hash256& batch_digest) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-hs-node"));
+  h.Update(parent);
+  h.UpdateU64(view);
+  h.Update(batch_digest);
+  return h.Finalize();
+}
+
+HotStuffReplica::HotStuffReplica(sim::NodeId id, sim::Network* net,
+                                 ClusterConfig config, crypto::PrivateKey key,
+                                 const crypto::KeyRegistry* registry)
+    : Replica(id, net, std::move(config), std::move(key), registry) {
+  // Install the genesis node.
+  HsTreeNode genesis;
+  genesis.hash = crypto::Hash256::Zero();
+  genesis.parent = crypto::Hash256::Zero();
+  genesis.view = 0;
+  genesis.depth = 0;
+  tree_[genesis.hash] = genesis;
+  last_committed_ = genesis.hash;
+}
+
+crypto::Hash256 HotStuffReplica::VoteDigest(
+    uint64_t view, const crypto::Hash256& node_hash) const {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-hs-vote"));
+  h.UpdateU64(view);
+  h.Update(node_hash);
+  return h.Finalize();
+}
+
+const HsTreeNode* HotStuffReplica::NodeOf(const crypto::Hash256& h) const {
+  auto it = tree_.find(h);
+  return it == tree_.end() ? nullptr : &it->second;
+}
+
+bool HotStuffReplica::Extends(const crypto::Hash256& descendant,
+                              const crypto::Hash256& ancestor) const {
+  crypto::Hash256 cur = descendant;
+  for (int hops = 0; hops < 10000; ++hops) {
+    if (cur == ancestor) return true;
+    const HsTreeNode* n = NodeOf(cur);
+    if (n == nullptr || n->depth == 0) return ancestor.IsZero();
+    cur = n->parent;
+  }
+  return false;
+}
+
+void HotStuffReplica::OnStart() {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  ArmViewTimer();
+  // Kick the pipeline: everyone announces view 1 to its leader.
+  auto nv = std::make_shared<HsNewView>();
+  nv->view = view_;
+  nv->high_qc = high_qc_;
+  nv->sig = Sign(VoteDigest(view_, high_qc_.node_hash));
+  Send(LeaderOf(view_), nv);
+  // Poll for late-arriving client transactions when idle.
+  SetTimer(1000, [this] { OnStartPoll(); });
+}
+
+void HotStuffReplica::OnStartPoll() {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  MaybePropose();
+  SetTimer(std::max<sim::Time>(1000, cfg_.timeout_us / 20),
+           [this] { OnStartPoll(); });
+}
+
+bool HotStuffReplica::HasPendingWork() const {
+  // Pending client transactions, or any proposal in the tree that has not
+  // yet committed (covers a proposer whose own in-flight proposal drained
+  // its pool — without this the pacemaker would never fire for it).
+  return pool_size() > 0 || max_tree_depth_ > committed_depth_;
+}
+
+void HotStuffReplica::ArmViewTimer() {
+  uint64_t epoch = ++timer_epoch_;
+  SetTimer(cfg_.timeout_us, [this, epoch] {
+    if (epoch != timer_epoch_) return;
+    if (!HasPendingWork()) {
+      ArmViewTimer();
+      return;
+    }
+    ++timeouts_;
+    EnterView(view_ + 1);
+  });
+}
+
+void HotStuffReplica::EnterView(uint64_t view) {
+  if (view <= view_) return;
+  view_ = view;
+  ArmViewTimer();
+  auto nv = std::make_shared<HsNewView>();
+  nv->view = view_;
+  nv->high_qc = high_qc_;
+  nv->sig = Sign(VoteDigest(view_, high_qc_.node_hash));
+  Send(LeaderOf(view_), nv);
+  MaybePropose();
+}
+
+void HotStuffReplica::MaybePropose() {
+  if (LeaderOf(view_) != id()) return;
+  if (proposed_views_.count(view_) > 0) return;
+  // Need justification to extend: either a fresh QC for view_-1 (happy
+  // path) or n-f NewView messages for this view (after a timeout).
+  bool have_newviews =
+      new_views_[view_].size() >= cfg_.n() - cfg_.f;
+  bool have_fresh_qc = high_qc_.view + 1 == view_;
+  if (!have_newviews && !have_fresh_qc) return;
+  if (!HasPendingWork()) return;
+
+  const HsTreeNode* parent = NodeOf(high_qc_.node_hash);
+  if (parent == nullptr) return;
+
+  Batch batch = TakeBatch();
+  proposed_views_.insert(view_);
+
+  if (byzantine_mode() == ByzantineMode::kEquivocate) {
+    Batch forked = batch;
+    txn::Transaction evil;
+    evil.id = 0xE0110000000000ULL + view_;
+    evil.ops.push_back(txn::Op::Write("evil", "fork"));
+    forked.txns.push_back(evil);
+    for (size_t i = 0; i < cfg_.n(); ++i) {
+      const Batch& b = (i < cfg_.n() / 2) ? batch : forked;
+      auto m = std::make_shared<HsProposal>();
+      m->node.parent = parent->hash;
+      m->node.view = view_;
+      m->node.depth = parent->depth + 1;
+      m->node.batch = b;
+      m->node.justify = high_qc_;
+      m->node.hash =
+          HsTreeNode::ComputeHash(parent->hash, view_, b.Digest());
+      m->sig = Sign(VoteDigest(view_, m->node.hash));
+      Send(cfg_.replicas[i], m);
+    }
+    return;
+  }
+
+  auto m = std::make_shared<HsProposal>();
+  m->node.parent = parent->hash;
+  m->node.view = view_;
+  m->node.depth = parent->depth + 1;
+  m->node.batch = std::move(batch);
+  m->node.justify = high_qc_;
+  m->node.hash =
+      HsTreeNode::ComputeHash(parent->hash, view_, m->node.batch.Digest());
+  m->sig = Sign(VoteDigest(view_, m->node.hash));
+  Broadcast(cfg_.replicas, m);
+}
+
+void HotStuffReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  const char* t = msg->type();
+  if (t == std::string("hs-proposal")) {
+    HandleProposal(from, static_cast<const HsProposal&>(*msg));
+  } else if (t == std::string("hs-vote")) {
+    HandleVote(from, static_cast<const HsVote&>(*msg));
+  } else if (t == std::string("hs-newview")) {
+    HandleNewView(from, static_cast<const HsNewView&>(*msg));
+  }
+}
+
+void HotStuffReplica::HandleProposal(sim::NodeId from, const HsProposal& m) {
+  if (from != LeaderOf(m.node.view)) return;
+  if (!VerifyPeer(VoteDigest(m.node.view, m.node.hash), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  if (HsTreeNode::ComputeHash(m.node.parent, m.node.view,
+                              m.node.batch.Digest()) != m.node.hash) {
+    return;
+  }
+  const HsTreeNode* parent = NodeOf(m.node.parent);
+  if (parent == nullptr) return;  // unknown ancestry; drop (no sync layer)
+  if (m.node.depth != parent->depth + 1) return;
+  if (m.node.justify.node_hash != m.node.parent) return;  // chained form
+
+  tree_[m.node.hash] = m.node;
+  max_tree_depth_ = std::max(max_tree_depth_, m.node.depth);
+  ProcessQC(m.node.justify);
+
+  // Vote rule: once per view, and only for safe extensions.
+  bool safe = Extends(m.node.hash, locked_qc_.node_hash) ||
+              m.node.justify.view > locked_qc_.view;
+  if (byzantine_mode() == ByzantineMode::kVoteBoth) safe = true;
+  if (m.node.view >= view_ &&
+      (m.node.view > last_voted_view_ ||
+       byzantine_mode() == ByzantineMode::kVoteBoth) &&
+      safe) {
+    last_voted_view_ = m.node.view;
+    auto vote = std::make_shared<HsVote>();
+    vote->view = m.node.view;
+    vote->node_hash = m.node.hash;
+    vote->sig = Sign(VoteDigest(m.node.view, m.node.hash));
+    Send(LeaderOf(m.node.view + 1), vote);
+    EnterView(m.node.view + 1);
+  }
+}
+
+void HotStuffReplica::HandleVote(sim::NodeId from, const HsVote& m) {
+  if (!VerifyPeer(VoteDigest(m.view, m.node_hash), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  auto& voters = votes_[m.node_hash];
+  voters.insert(from);
+  if (voters.size() >= cfg_.n() - cfg_.f) {
+    ProcessQC(QuorumCert{m.view, m.node_hash});
+    MaybePropose();
+  }
+}
+
+void HotStuffReplica::HandleNewView(sim::NodeId from, const HsNewView& m) {
+  if (!VerifyPeer(VoteDigest(m.view, m.high_qc.node_hash), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  ProcessQC(m.high_qc);
+  new_views_[m.view][from] = m.high_qc;
+  if (m.view > view_ &&
+      new_views_[m.view].size() >= cfg_.f + 1) {
+    EnterView(m.view);  // join a pacemaker round we missed
+  }
+  MaybePropose();
+}
+
+void HotStuffReplica::ProcessQC(const QuorumCert& qc) {
+  if (qc.view > high_qc_.view) {
+    high_qc_ = qc;
+    TryCommitFrom(qc);
+    if (qc.view + 1 > view_) EnterView(qc.view + 1);
+  }
+}
+
+void HotStuffReplica::TryCommitFrom(const QuorumCert& qc) {
+  // Three-chain: qc certifies b2; b1 = b2.justify node; b0 = b1.justify
+  // node. Direct-parent links b2→b1→b0 commit b0 and its ancestors.
+  const HsTreeNode* b2 = NodeOf(qc.node_hash);
+  if (b2 == nullptr || b2->depth == 0) return;
+
+  // Locking (two-chain): lock b1.
+  const HsTreeNode* b1 = NodeOf(b2->justify.node_hash);
+  if (b1 != nullptr && b2->parent == b1->hash &&
+      b2->justify.view > locked_qc_.view) {
+    locked_qc_ = b2->justify;
+  }
+  if (b1 == nullptr || b1->depth == 0) return;
+  const HsTreeNode* b0 = NodeOf(b1->justify.node_hash);
+  if (b0 == nullptr) return;
+  if (b2->parent != b1->hash || b1->parent != b0->hash) return;
+  if (b0->depth == 0 || b0->depth <= committed_depth_) return;
+
+  // Commit b0 and every uncommitted ancestor, shallowest first.
+  std::vector<const HsTreeNode*> to_commit;
+  const HsTreeNode* cur = b0;
+  while (cur != nullptr && cur->depth > committed_depth_) {
+    to_commit.push_back(cur);
+    cur = NodeOf(cur->parent);
+  }
+  for (auto it = to_commit.rbegin(); it != to_commit.rend(); ++it) {
+    DeliverCommitted((*it)->depth, (*it)->batch);
+  }
+  committed_depth_ = b0->depth;
+  last_committed_ = b0->hash;
+}
+
+}  // namespace pbc::consensus

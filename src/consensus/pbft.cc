@@ -1,0 +1,376 @@
+#include "consensus/pbft.h"
+
+#include <algorithm>
+
+namespace pbc::consensus {
+
+namespace {
+// Extra transaction appended by an equivocating primary to fork a batch.
+txn::Transaction EvilTxn(uint64_t seq) {
+  txn::Transaction t;
+  t.id = 0xE01100000000ULL + seq;
+  t.ops.push_back(txn::Op::Write("evil", "fork"));
+  return t;
+}
+}  // namespace
+
+PbftReplica::PbftReplica(sim::NodeId id, sim::Network* net,
+                         ClusterConfig config, crypto::PrivateKey key,
+                         const crypto::KeyRegistry* registry)
+    : Replica(id, net, std::move(config), std::move(key), registry) {}
+
+crypto::Hash256 PbftReplica::BindDigest(const char* tag, uint64_t view,
+                                        uint64_t seq,
+                                        const crypto::Hash256& digest) const {
+  crypto::Sha256 h;
+  h.Update(std::string(tag));
+  h.UpdateU64(view);
+  h.UpdateU64(seq);
+  h.Update(digest);
+  return h.Finalize();
+}
+
+void PbftReplica::OnStart() {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  ArmProgressTimer();
+  // Proposal pacing tick.
+  ScheduleProposeTick(std::max<sim::Time>(1000, cfg_.timeout_us / 20));
+}
+
+void PbftReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  const char* t = msg->type();
+  if (t == std::string("pbft-preprepare")) {
+    HandlePrePrepare(from, static_cast<const PbftPrePrepare&>(*msg));
+  } else if (t == std::string("pbft-prepare")) {
+    HandlePrepare(from, static_cast<const PbftPrepare&>(*msg));
+  } else if (t == std::string("pbft-commit")) {
+    HandleCommit(from, static_cast<const PbftCommit&>(*msg));
+  } else if (t == std::string("pbft-checkpoint")) {
+    HandleCheckpoint(from, static_cast<const PbftCheckpoint&>(*msg));
+  } else if (t == std::string("pbft-viewchange")) {
+    HandleViewChange(from, static_cast<const PbftViewChange&>(*msg));
+  } else if (t == std::string("pbft-newview")) {
+    HandleNewView(from, static_cast<const PbftNewView&>(*msg));
+  }
+}
+
+void PbftReplica::MaybePropose() {
+  if (!IsPrimary() || in_view_change_) return;
+  while (pool_size() > 0 &&
+         next_seq_ - 1 - last_delivered_seq() < kWindow / 2) {
+    Batch batch = TakeBatch();
+    if (batch.empty()) break;
+    uint64_t seq = next_seq_++;
+
+    if (byzantine_mode() == ByzantineMode::kEquivocate) {
+      // Send conflicting pre-prepares to the two halves of the cluster.
+      Batch forked = batch;
+      forked.txns.push_back(EvilTxn(seq));
+      for (size_t i = 0; i < cfg_.n(); ++i) {
+        const Batch& b = (i < cfg_.n() / 2) ? batch : forked;
+        auto m = std::make_shared<PbftPrePrepare>();
+        m->view = view_;
+        m->seq = seq;
+        m->batch = b;
+        m->digest = b.Digest();
+        m->sig = Sign(BindDigest("pbft-pp", view_, seq, m->digest));
+        Send(cfg_.replicas[i], m);
+      }
+      continue;
+    }
+
+    auto m = std::make_shared<PbftPrePrepare>();
+    m->view = view_;
+    m->seq = seq;
+    m->batch = std::move(batch);
+    m->digest = m->batch.Digest();
+    m->sig = Sign(BindDigest("pbft-pp", view_, seq, m->digest));
+    Slot& slot = log_[seq];
+    slot.view = view_;
+    slot.has_preprepare = true;
+    slot.batch = m->batch;
+    slot.digest = m->digest;
+    slot.proposed_by_me = true;
+    Broadcast(cfg_.replicas, m);
+    SendPrepare(seq, m->digest);
+  }
+}
+
+void PbftReplica::HandlePrePrepare(sim::NodeId from, const PbftPrePrepare& m) {
+  if (m.view != view_ || in_view_change_) return;
+  if (from != PrimaryOf(m.view)) return;
+  if (!InWindow(m.seq)) return;
+  if (!VerifyPeer(BindDigest("pbft-pp", m.view, m.seq, m.digest), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  if (m.batch.Digest() != m.digest) return;
+
+  Slot& slot = log_[m.seq];
+  if (slot.has_preprepare && slot.view == m.view &&
+      slot.digest != m.digest &&
+      byzantine_mode() != ByzantineMode::kVoteBoth) {
+    return;  // equivocation: refuse the second pre-prepare
+  }
+  slot.view = m.view;
+  slot.has_preprepare = true;
+  slot.batch = m.batch;
+  slot.digest = m.digest;
+  SendPrepare(m.seq, m.digest);
+  TryPrepare(m.seq);
+}
+
+void PbftReplica::SendPrepare(uint64_t seq, const crypto::Hash256& digest) {
+  auto p = std::make_shared<PbftPrepare>();
+  p->view = view_;
+  p->seq = seq;
+  p->digest = digest;
+  p->sig = Sign(BindDigest("pbft-p", view_, seq, digest));
+  Broadcast(cfg_.replicas, p);
+}
+
+void PbftReplica::HandlePrepare(sim::NodeId from, const PbftPrepare& m) {
+  if (m.view != view_ || !InWindow(m.seq)) return;
+  if (!VerifyPeer(BindDigest("pbft-p", m.view, m.seq, m.digest), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  digest_prepares_[m.seq][m.digest].insert(from);
+  TryPrepare(m.seq);
+}
+
+void PbftReplica::TryPrepare(uint64_t seq) {
+  Slot& slot = log_[seq];
+  if (!slot.has_preprepare || slot.prepared) return;
+  const auto& votes = digest_prepares_[seq][slot.digest];
+  if (votes.size() >= 2 * cfg_.f) {
+    slot.prepared = true;
+    SendCommit(seq, slot.digest);
+    TryCommit(seq);
+  }
+}
+
+void PbftReplica::SendCommit(uint64_t seq, const crypto::Hash256& digest) {
+  auto c = std::make_shared<PbftCommit>();
+  c->view = view_;
+  c->seq = seq;
+  c->digest = digest;
+  c->sig = Sign(BindDigest("pbft-c", view_, seq, digest));
+  Broadcast(cfg_.replicas, c);
+}
+
+void PbftReplica::HandleCommit(sim::NodeId from, const PbftCommit& m) {
+  if (!InWindow(m.seq)) return;
+  if (!VerifyPeer(BindDigest("pbft-c", m.view, m.seq, m.digest), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  digest_commits_[m.seq][m.digest].insert(from);
+  TryCommit(m.seq);
+}
+
+void PbftReplica::TryCommit(uint64_t seq) {
+  Slot& slot = log_[seq];
+  if (!slot.prepared || slot.committed) return;
+  const auto& votes = digest_commits_[seq][slot.digest];
+  if (votes.size() >= cfg_.BftQuorum()) {
+    slot.committed = true;
+    DeliverCommitted(seq, slot.batch);
+    MaybeCheckpoint(last_delivered_seq());
+  }
+}
+
+void PbftReplica::MaybeCheckpoint(uint64_t delivered_seq) {
+  if (delivered_seq < last_checkpoint_sent_ + cfg_.checkpoint_interval) {
+    return;
+  }
+  last_checkpoint_sent_ = delivered_seq;
+  auto cp = std::make_shared<PbftCheckpoint>();
+  cp->seq = delivered_seq;
+  crypto::Sha256 h;
+  h.UpdateU64(delivered_seq);
+  h.Update(chain().TipHash());
+  cp->state_digest = h.Finalize();
+  cp->sig = Sign(BindDigest("pbft-cp", 0, delivered_seq, cp->state_digest));
+  Broadcast(cfg_.replicas, cp);
+}
+
+void PbftReplica::HandleCheckpoint(sim::NodeId from, const PbftCheckpoint& m) {
+  if (!VerifyPeer(BindDigest("pbft-cp", 0, m.seq, m.state_digest), m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  auto& votes = checkpoint_votes_[m.seq][m.state_digest];
+  votes.insert(from);
+  if (votes.size() >= cfg_.BftQuorum() && m.seq > stable_checkpoint_) {
+    stable_checkpoint_ = m.seq;
+    // Garbage-collect everything at or below the stable checkpoint.
+    log_.erase(log_.begin(), log_.lower_bound(stable_checkpoint_ + 1));
+    digest_prepares_.erase(
+        digest_prepares_.begin(),
+        digest_prepares_.lower_bound(stable_checkpoint_ + 1));
+    digest_commits_.erase(
+        digest_commits_.begin(),
+        digest_commits_.lower_bound(stable_checkpoint_ + 1));
+    checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                            checkpoint_votes_.lower_bound(m.seq));
+  }
+}
+
+void PbftReplica::ArmProgressTimer() {
+  uint64_t epoch = ++timer_epoch_;
+  delivered_at_last_tick_ = last_delivered_seq();
+  SetTimer(cfg_.timeout_us, [this, epoch] {
+    if (epoch != timer_epoch_) return;
+    OnProgressTimeout();
+  });
+}
+
+void PbftReplica::OnProgressTimeout() {
+  bool pending_work =
+      pool_size() > 0 ||
+      std::any_of(log_.begin(), log_.end(), [](const auto& kv) {
+        return kv.second.has_preprepare && !kv.second.committed;
+      });
+  bool progressed = last_delivered_seq() > delivered_at_last_tick_;
+  if (!pending_work || progressed) {
+    ArmProgressTimer();
+    return;
+  }
+  StartViewChange(in_view_change_ ? target_view_ + 1 : view_ + 1);
+  ArmProgressTimer();
+}
+
+void PbftReplica::StartViewChange(uint64_t target_view) {
+  if (byzantine_mode() == ByzantineMode::kSilent) return;
+  // If I was the primary, reclaim my un-committed proposals.
+  if (IsPrimary()) {
+    for (auto& [seq, slot] : log_) {
+      if (slot.proposed_by_me && !slot.committed) ReturnToPool(slot.batch);
+    }
+  }
+  in_view_change_ = true;
+  target_view_ = target_view;
+  ++view_changes_;
+
+  auto vc = std::make_shared<PbftViewChange>();
+  vc->new_view = target_view;
+  vc->last_delivered = last_delivered_seq();
+  for (const auto& [seq, slot] : log_) {
+    if (slot.prepared && !slot.committed) {
+      vc->prepared.push_back({seq, slot.view, slot.digest, slot.batch});
+    }
+  }
+  crypto::Sha256 h;
+  h.UpdateU64(target_view);
+  h.UpdateU64(vc->last_delivered);
+  for (const auto& p : vc->prepared) h.Update(p.digest);
+  vc->sig = Sign(BindDigest("pbft-vc", target_view, vc->last_delivered,
+                            h.Finalize()));
+  Broadcast(cfg_.replicas, vc);
+}
+
+void PbftReplica::HandleViewChange(sim::NodeId from, const PbftViewChange& m) {
+  crypto::Sha256 h;
+  h.UpdateU64(m.new_view);
+  h.UpdateU64(m.last_delivered);
+  for (const auto& p : m.prepared) h.Update(p.digest);
+  if (!VerifyPeer(BindDigest("pbft-vc", m.new_view, m.last_delivered,
+                             h.Finalize()),
+                  m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  if (m.new_view <= view_) return;
+  vc_msgs_[m.new_view][from] = m;
+
+  // Join rule: f+1 replicas already moved to a higher view — follow them.
+  uint64_t my_target = in_view_change_ ? target_view_ : view_;
+  if (m.new_view > my_target &&
+      vc_msgs_[m.new_view].size() >= cfg_.f + 1 &&
+      vc_msgs_[m.new_view].count(id()) == 0) {
+    StartViewChange(m.new_view);
+  }
+
+  // New-primary rule.
+  if (PrimaryOf(m.new_view) != id()) return;
+  if (new_view_sent_.count(m.new_view) > 0) return;
+  if (vc_msgs_[m.new_view].size() < cfg_.BftQuorum()) return;
+
+  new_view_sent_.insert(m.new_view);
+  auto nv = std::make_shared<PbftNewView>();
+  nv->new_view = m.new_view;
+
+  // Gather the highest-view prepared certificate per sequence.
+  std::map<uint64_t, PreparedProof> best;
+  uint64_t max_seq = last_delivered_seq();
+  for (const auto& [sender, vc] : vc_msgs_[m.new_view]) {
+    max_seq = std::max(max_seq, vc.last_delivered);
+    for (const auto& proof : vc.prepared) {
+      max_seq = std::max(max_seq, proof.seq);
+      auto it = best.find(proof.seq);
+      if (it == best.end() || proof.view > it->second.view) {
+        best[proof.seq] = proof;
+      }
+    }
+  }
+
+  for (uint64_t seq = stable_checkpoint_ + 1; seq <= max_seq; ++seq) {
+    Batch batch;
+    auto bi = best.find(seq);
+    if (bi != best.end()) {
+      batch = bi->second.batch;
+    } else {
+      auto li = log_.find(seq);
+      if (li != log_.end() && li->second.committed) {
+        batch = li->second.batch;  // already decided; re-announce
+      }
+      // else: a null (empty) batch fills the gap.
+    }
+    PbftPrePrepare pp;
+    pp.view = m.new_view;
+    pp.seq = seq;
+    pp.batch = std::move(batch);
+    pp.digest = pp.batch.Digest();
+    pp.sig = Sign(BindDigest("pbft-pp", m.new_view, seq, pp.digest));
+    nv->preprepares.push_back(std::move(pp));
+  }
+  nv->sig = Sign(BindDigest("pbft-nv", m.new_view, nv->preprepares.size(),
+                            crypto::Hash256::Zero()));
+  next_seq_ = max_seq + 1;
+  Broadcast(cfg_.replicas, nv);
+}
+
+void PbftReplica::HandleNewView(sim::NodeId from, const PbftNewView& m) {
+  if (from != PrimaryOf(m.new_view)) return;
+  if (!VerifyPeer(BindDigest("pbft-nv", m.new_view, m.preprepares.size(),
+                             crypto::Hash256::Zero()),
+                  m.sig) ||
+      m.sig.signer != from) {
+    return;
+  }
+  if (m.new_view < view_) return;
+  view_ = m.new_view;
+  in_view_change_ = false;
+  // Reset per-view vote state for re-proposed sequences.
+  for (const auto& pp : m.preprepares) {
+    if (pp.seq <= last_delivered_seq()) continue;
+    Slot& slot = log_[pp.seq];
+    if (!slot.committed) {
+      slot = Slot{};
+    }
+    HandlePrePrepare(from, pp);
+  }
+  ArmProgressTimer();
+  MaybePropose();
+}
+
+void PbftReplica::ScheduleProposeTick(sim::Time tick) {
+  SetTimer(tick, [this, tick] {
+    if (byzantine_mode() != ByzantineMode::kSilent) MaybePropose();
+    ScheduleProposeTick(tick);
+  });
+}
+
+}  // namespace pbc::consensus

@@ -1,0 +1,226 @@
+#include "consensus/raft.h"
+
+#include <algorithm>
+
+namespace pbc::consensus {
+
+RaftReplica::RaftReplica(sim::NodeId id, sim::Network* net,
+                         ClusterConfig config, crypto::PrivateKey key,
+                         const crypto::KeyRegistry* registry)
+    : Replica(id, net, std::move(config), std::move(key), registry) {}
+
+void RaftReplica::OnStart() { ResetElectionTimer(); }
+
+void RaftReplica::ResetElectionTimer() {
+  uint64_t epoch = ++election_epoch_;
+  // Randomized timeout in [T, 2T) — the classic split-vote breaker.
+  sim::Time t = cfg_.timeout_us +
+                network()->simulator()->rng()->NextU64(cfg_.timeout_us);
+  SetTimer(t, [this, epoch] {
+    if (epoch != election_epoch_) return;
+    OnElectionTimeout();
+  });
+}
+
+void RaftReplica::OnElectionTimeout() {
+  if (role_ == Role::kLeader) return;
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id();
+  votes_ = {id()};
+  auto rv = std::make_shared<RaftRequestVote>();
+  rv->term = term_;
+  rv->last_log_index = LastLogIndex();
+  rv->last_log_term = LastLogTerm();
+  for (sim::NodeId peer : cfg_.replicas) {
+    if (peer != id()) Send(peer, rv);
+  }
+  ResetElectionTimer();
+}
+
+void RaftReplica::StepDown(uint64_t term) {
+  bool was_leader = role_ == Role::kLeader;
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = kNoVote;
+  }
+  role_ = Role::kFollower;
+  votes_.clear();
+  if (was_leader) ++heartbeat_epoch_;  // cancel heartbeats
+  ResetElectionTimer();
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  next_index_.assign(cfg_.n(), LastLogIndex() + 1);
+  match_index_.assign(cfg_.n(), 0);
+  match_index_[cfg_.IndexOf(id())] = LastLogIndex();
+  ++election_epoch_;  // suppress election timeouts while leading
+  // Commit-barrier no-op: lets entries from previous terms commit.
+  log_.push_back(RaftEntry{term_, Batch{}});
+  match_index_[cfg_.IndexOf(id())] = LastLogIndex();
+  HeartbeatTick();
+}
+
+void RaftReplica::HeartbeatTick() {
+  if (role_ != Role::kLeader) return;
+  uint64_t epoch = ++heartbeat_epoch_;
+
+  // Batch pending client transactions into a new log entry.
+  if (pool_size() > 0) {
+    Batch batch = TakeBatch();
+    if (!batch.empty()) {
+      log_.push_back(RaftEntry{term_, std::move(batch)});
+      match_index_[cfg_.IndexOf(id())] = LastLogIndex();
+    }
+  }
+  for (size_t i = 0; i < cfg_.n(); ++i) {
+    if (cfg_.replicas[i] != id()) SendAppendTo(i);
+  }
+  AdvanceCommitIndex();
+
+  SetTimer(cfg_.timeout_us / 5, [this, epoch] {
+    if (epoch != heartbeat_epoch_) return;
+    HeartbeatTick();
+  });
+}
+
+void RaftReplica::SendAppendTo(size_t peer_index) {
+  auto ae = std::make_shared<RaftAppendEntries>();
+  ae->term = term_;
+  uint64_t next = next_index_[peer_index];
+  ae->prev_log_index = next - 1;
+  ae->prev_log_term = TermAt(next - 1);
+  for (uint64_t idx = next; idx <= LastLogIndex(); ++idx) {
+    ae->entries.push_back(log_[idx - 1]);
+  }
+  ae->leader_commit = commit_index_;
+  Send(cfg_.replicas[peer_index], ae);
+}
+
+void RaftReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  const char* t = msg->type();
+  if (t == std::string("raft-reqvote")) {
+    HandleRequestVote(from, static_cast<const RaftRequestVote&>(*msg));
+  } else if (t == std::string("raft-votereply")) {
+    HandleVoteReply(from, static_cast<const RaftVoteReply&>(*msg));
+  } else if (t == std::string("raft-append")) {
+    HandleAppendEntries(from, static_cast<const RaftAppendEntries&>(*msg));
+  } else if (t == std::string("raft-appendreply")) {
+    HandleAppendReply(from, static_cast<const RaftAppendReply&>(*msg));
+  }
+}
+
+void RaftReplica::HandleRequestVote(sim::NodeId from,
+                                    const RaftRequestVote& m) {
+  if (m.term > term_) StepDown(m.term);
+  auto reply = std::make_shared<RaftVoteReply>();
+  reply->term = term_;
+  bool log_ok = m.last_log_term > LastLogTerm() ||
+                (m.last_log_term == LastLogTerm() &&
+                 m.last_log_index >= LastLogIndex());
+  if (m.term == term_ && log_ok &&
+      (voted_for_ == kNoVote || voted_for_ == from)) {
+    voted_for_ = from;
+    reply->granted = true;
+    ResetElectionTimer();
+  }
+  Send(from, reply);
+}
+
+void RaftReplica::HandleVoteReply(sim::NodeId from, const RaftVoteReply& m) {
+  if (m.term > term_) {
+    StepDown(m.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || m.term != term_ || !m.granted) return;
+  votes_.insert(from);
+  if (votes_.size() >= cfg_.MajorityQuorum()) BecomeLeader();
+}
+
+void RaftReplica::HandleAppendEntries(sim::NodeId from,
+                                      const RaftAppendEntries& m) {
+  if (m.term > term_) StepDown(m.term);
+  auto reply = std::make_shared<RaftAppendReply>();
+  reply->term = term_;
+  if (m.term < term_) {
+    reply->success = false;
+    Send(from, reply);
+    return;
+  }
+  // Valid leader for this term.
+  if (role_ != Role::kFollower) StepDown(m.term);
+  ResetElectionTimer();
+
+  if (m.prev_log_index > LastLogIndex() ||
+      TermAt(m.prev_log_index) != m.prev_log_term) {
+    reply->success = false;
+    Send(from, reply);
+    return;
+  }
+  // Append / overwrite conflicting suffix.
+  uint64_t idx = m.prev_log_index;
+  for (const auto& entry : m.entries) {
+    ++idx;
+    if (idx <= LastLogIndex()) {
+      if (TermAt(idx) != entry.term) {
+        log_.resize(idx - 1);  // delete conflicting suffix
+        log_.push_back(entry);
+      }
+    } else {
+      log_.push_back(entry);
+    }
+  }
+  if (m.leader_commit > commit_index_) {
+    commit_index_ = std::min(m.leader_commit, LastLogIndex());
+    ApplyCommitted();
+  }
+  reply->success = true;
+  reply->match_index = m.prev_log_index + m.entries.size();
+  Send(from, reply);
+}
+
+void RaftReplica::HandleAppendReply(sim::NodeId from,
+                                    const RaftAppendReply& m) {
+  if (m.term > term_) {
+    StepDown(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  size_t peer = cfg_.IndexOf(from);
+  if (peer >= cfg_.n()) return;
+  if (m.success) {
+    match_index_[peer] = std::max(match_index_[peer], m.match_index);
+    next_index_[peer] = match_index_[peer] + 1;
+    AdvanceCommitIndex();
+  } else {
+    // Conflict: back off and retry immediately.
+    if (next_index_[peer] > 1) --next_index_[peer];
+    SendAppendTo(peer);
+  }
+}
+
+void RaftReplica::AdvanceCommitIndex() {
+  if (role_ != Role::kLeader) return;
+  for (uint64_t n = LastLogIndex(); n > commit_index_; --n) {
+    if (TermAt(n) != term_) break;  // only commit current-term entries
+    size_t count = 0;
+    for (uint64_t mi : match_index_) {
+      if (mi >= n) ++count;
+    }
+    if (count >= cfg_.MajorityQuorum()) {
+      commit_index_ = n;
+      ApplyCommitted();
+      break;
+    }
+  }
+}
+
+void RaftReplica::ApplyCommitted() {
+  while (applied_index_ < commit_index_) {
+    ++applied_index_;
+    DeliverCommitted(applied_index_, log_[applied_index_ - 1].batch);
+  }
+}
+
+}  // namespace pbc::consensus

@@ -1,0 +1,77 @@
+#include "consensus/replica.h"
+
+namespace pbc::consensus {
+
+Replica::Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
+                 crypto::PrivateKey key, const crypto::KeyRegistry* registry)
+    : sim::Node(id, net),
+      cfg_(std::move(config)),
+      key_(std::move(key)),
+      registry_(registry) {}
+
+void Replica::SubmitTransaction(txn::Transaction txn) {
+  if (pool_ids_.count(txn.id) > 0 || committed_ids_.count(txn.id) > 0) return;
+  pool_ids_.insert(txn.id);
+  pool_.push_back(std::move(txn));
+}
+
+Batch Replica::TakeBatch() {
+  Batch batch;
+  while (!pool_.empty() && batch.txns.size() < cfg_.batch_size) {
+    batch.txns.push_back(std::move(pool_.front()));
+    pool_.pop_front();
+    pool_ids_.erase(batch.txns.back().id);
+  }
+  return batch;
+}
+
+void Replica::ReturnToPool(const Batch& batch) {
+  // Re-submit preserving dedup rules.
+  for (const auto& t : batch.txns) SubmitTransaction(t);
+}
+
+void Replica::DeliverCommitted(uint64_t seq, Batch batch) {
+  if (seq < next_deliver_ || out_of_order_.count(seq) > 0) return;
+  out_of_order_[seq] = std::move(batch);
+  while (true) {
+    auto it = out_of_order_.find(next_deliver_);
+    if (it == out_of_order_.end()) break;
+    Batch& b = it->second;
+    // Drop transactions that already committed at an earlier sequence:
+    // with rotating proposers several leaders may batch the same client
+    // transaction (clients submit to all replicas). Every replica filters
+    // deterministically against the same committed-id set, so chains stay
+    // identical. This mirrors Fabric's txid-based replay check.
+    std::vector<txn::Transaction> fresh;
+    fresh.reserve(b.txns.size());
+    for (auto& t : b.txns) {
+      if (committed_ids_.count(t.id) == 0) fresh.push_back(std::move(t));
+    }
+    b.txns = std::move(fresh);
+    for (const auto& t : b.txns) {
+      committed_ids_.insert(t.id);
+      // A committed txn may still sit in the pool if it was submitted to
+      // several replicas; purge lazily.
+      if (pool_ids_.erase(t.id) > 0) {
+        for (auto pit = pool_.begin(); pit != pool_.end(); ++pit) {
+          if (pit->id == t.id) {
+            pool_.erase(pit);
+            break;
+          }
+        }
+      }
+    }
+    committed_txns_ += b.txns.size();
+    if (!b.txns.empty()) {
+      ledger::Block block = ledger::Block::Make(
+          chain_.height(), chain_.TipHash(), b.txns, /*timestamp_us=*/0);
+      Status s = chain_.Append(std::move(block));
+      (void)s;  // Append of a self-built block cannot fail.
+    }
+    if (listener_) listener_(id(), next_deliver_, b);
+    out_of_order_.erase(it);
+    ++next_deliver_;
+  }
+}
+
+}  // namespace pbc::consensus

@@ -1,0 +1,92 @@
+// Base class shared by all consensus replicas: transaction pool, in-order
+// batch delivery, and the hash-chained ledger each replica maintains.
+#ifndef PBC_CONSENSUS_REPLICA_H_
+#define PBC_CONSENSUS_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "consensus/types.h"
+#include "crypto/auth.h"
+#include "ledger/chain.h"
+
+namespace pbc::consensus {
+
+/// \brief Invoked on each replica when a batch commits (in order).
+using CommitListener =
+    std::function<void(sim::NodeId replica, uint64_t seq, const Batch&)>;
+
+/// \brief Common replica machinery.
+///
+/// Protocol subclasses implement agreement and call `DeliverCommitted`
+/// with (sequence, batch) pairs; this class buffers out-of-order arrivals,
+/// appends non-empty batches to the replica's chain in sequence order, and
+/// tracks committed transaction ids so re-proposals are deduplicated.
+class Replica : public sim::Node {
+ public:
+  Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
+          crypto::PrivateKey key, const crypto::KeyRegistry* registry);
+
+  /// Adds a client transaction to the local pool (idempotent by txn id).
+  virtual void SubmitTransaction(txn::Transaction txn);
+
+  const ledger::Chain& chain() const { return chain_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+  uint64_t last_delivered_seq() const { return next_deliver_ - 1; }
+  size_t pool_size() const { return pool_.size(); }
+
+  void set_commit_listener(CommitListener listener) {
+    listener_ = std::move(listener);
+  }
+  void set_byzantine_mode(ByzantineMode mode) { byzantine_ = mode; }
+  ByzantineMode byzantine_mode() const { return byzantine_; }
+
+  const ClusterConfig& config() const { return cfg_; }
+
+ protected:
+  /// Hands a decided batch to the delivery pipeline. Sequences start at 1.
+  /// Duplicate delivery of the same sequence is ignored (protocols may
+  /// decide a sequence more than once during view changes — the decided
+  /// value is necessarily identical if the protocol is safe, and tests
+  /// assert exactly that via chain comparison).
+  void DeliverCommitted(uint64_t seq, Batch batch);
+
+  /// Removes up to batch_size pool transactions and returns them.
+  Batch TakeBatch();
+
+  /// Puts a batch's transactions back into the pool (failed proposal).
+  void ReturnToPool(const Batch& batch);
+
+  /// Signs a protocol digest with this replica's key.
+  crypto::Signature Sign(const crypto::Hash256& digest) const {
+    return key_.Sign(digest);
+  }
+  /// Verifies a peer's signature over a digest.
+  bool VerifyPeer(const crypto::Hash256& digest,
+                  const crypto::Signature& sig) const {
+    return registry_->Verify(digest, sig);
+  }
+
+  ClusterConfig cfg_;
+
+ private:
+  crypto::PrivateKey key_;
+  const crypto::KeyRegistry* registry_;
+
+  std::deque<txn::Transaction> pool_;
+  std::set<txn::TxnId> pool_ids_;
+  std::set<txn::TxnId> committed_ids_;
+
+  ledger::Chain chain_;
+  std::map<uint64_t, Batch> out_of_order_;
+  uint64_t next_deliver_ = 1;
+  uint64_t committed_txns_ = 0;
+  CommitListener listener_;
+  ByzantineMode byzantine_ = ByzantineMode::kHonest;
+};
+
+}  // namespace pbc::consensus
+
+#endif  // PBC_CONSENSUS_REPLICA_H_

@@ -1,0 +1,32 @@
+#include "consensus/types.h"
+
+namespace pbc::consensus {
+
+crypto::Hash256 Batch::Digest() const {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-batch"));
+  h.UpdateU64(txns.size());
+  for (const auto& t : txns) h.Update(t.Digest());
+  return h.Finalize();
+}
+
+size_t ClusterConfig::IndexOf(sim::NodeId id) const {
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i] == id) return i;
+  }
+  return replicas.size();
+}
+
+uint64_t ClusterConfig::TotalPower() const {
+  if (voting_power.empty()) return replicas.size();
+  uint64_t total = 0;
+  for (uint64_t p : voting_power) total += p;
+  return total;
+}
+
+uint64_t ClusterConfig::PowerOf(size_t replica_index) const {
+  if (voting_power.empty()) return 1;
+  return replica_index < voting_power.size() ? voting_power[replica_index] : 0;
+}
+
+}  // namespace pbc::consensus

@@ -1,0 +1,72 @@
+// Shared vocabulary for the consensus protocols (§2.2 of the survey):
+// batches, cluster configuration, and quorum arithmetic.
+#ifndef PBC_CONSENSUS_TYPES_H_
+#define PBC_CONSENSUS_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "sim/network.h"
+#include "txn/transaction.h"
+
+namespace pbc::consensus {
+
+/// \brief The unit replicas agree on: an ordered batch of transactions.
+///
+/// Consensus orders batches; the hash-chained `ledger::Block` is constructed
+/// deterministically at commit time from the agreed batch sequence, so
+/// protocols can pipeline agreement without knowing the previous block hash.
+struct Batch {
+  std::vector<txn::Transaction> txns;
+
+  /// Content digest (Merkle-free flat hash; order-sensitive).
+  crypto::Hash256 Digest() const;
+
+  bool empty() const { return txns.empty(); }
+  size_t size() const { return txns.size(); }
+};
+
+/// \brief Static description of one consensus cluster.
+struct ClusterConfig {
+  /// Replica node ids, in canonical order (defines primary rotation).
+  std::vector<sim::NodeId> replicas;
+
+  /// Max faulty replicas tolerated. BFT protocols need n >= 3f+1
+  /// (2f+1 with attested logs); CFT protocols need n >= 2f+1.
+  uint32_t f = 1;
+
+  /// Max transactions per proposed batch.
+  size_t batch_size = 100;
+
+  /// Leader/progress timeout before a view/round/term change (µs).
+  sim::Time timeout_us = 60000;
+
+  /// PBFT checkpoint interval (sequence numbers).
+  uint64_t checkpoint_interval = 64;
+
+  /// Voting power per replica (Tendermint). Empty = equal weights.
+  std::vector<uint64_t> voting_power;
+
+  size_t n() const { return replicas.size(); }
+  /// Smallest BFT quorum: 2f+1.
+  size_t BftQuorum() const { return 2 * f + 1; }
+  /// Majority quorum for CFT protocols.
+  size_t MajorityQuorum() const { return replicas.size() / 2 + 1; }
+  /// Index of a node in `replicas`, or n() if absent.
+  size_t IndexOf(sim::NodeId id) const;
+  uint64_t TotalPower() const;
+  uint64_t PowerOf(size_t replica_index) const;
+};
+
+/// \brief Byzantine behavior injected into a replica (tests + E12).
+enum class ByzantineMode {
+  kHonest,
+  kSilent,      ///< participates in nothing (crash-like but undetectable)
+  kEquivocate,  ///< as leader, proposes different batches to different peers
+  kVoteBoth,    ///< votes for every proposal it sees, even conflicting ones
+};
+
+}  // namespace pbc::consensus
+
+#endif  // PBC_CONSENSUS_TYPES_H_

@@ -1,0 +1,44 @@
+#include "crypto/auth.h"
+
+namespace pbc::crypto {
+
+namespace {
+Bytes DigestToBytes(const Hash256& h) {
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+}  // namespace
+
+Signature PrivateKey::Sign(const Bytes& message) const {
+  return Signature{id_, HmacSha256(secret_, message)};
+}
+
+Signature PrivateKey::Sign(const Hash256& digest) const {
+  return Sign(DigestToBytes(digest));
+}
+
+PrivateKey KeyRegistry::Register(IdentityId id) {
+  return RegisterDeterministic(id, ++counter_ * 0x9e3779b97f4a7c15ULL);
+}
+
+PrivateKey KeyRegistry::RegisterDeterministic(IdentityId id, uint64_t seed) {
+  Sha256 h;
+  h.UpdateU64(seed);
+  h.UpdateU64(id);
+  h.Update(std::string("pbc-key-derivation"));
+  Hash256 secret = h.Finalize();
+  Bytes key(secret.bytes.begin(), secret.bytes.end());
+  keys_[id] = key;
+  return PrivateKey(id, key);
+}
+
+bool KeyRegistry::Verify(const Bytes& message, const Signature& sig) const {
+  auto it = keys_.find(sig.signer);
+  if (it == keys_.end()) return false;
+  return HmacSha256(it->second, message) == sig.tag;
+}
+
+bool KeyRegistry::Verify(const Hash256& digest, const Signature& sig) const {
+  return Verify(DigestToBytes(digest), sig);
+}
+
+}  // namespace pbc::crypto

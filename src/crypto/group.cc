@@ -1,0 +1,68 @@
+#include "crypto/group.h"
+
+namespace pbc::crypto {
+
+namespace {
+
+inline uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+Scalar Scalar::operator+(Scalar o) const {
+  uint64_t s = v_ + o.v_;  // < 2^61 + 2^61 < 2^64: no overflow
+  if (s >= kGroupQ) s -= kGroupQ;
+  return Scalar(s);
+}
+
+Scalar Scalar::operator-(Scalar o) const {
+  return *this + o.Neg();
+}
+
+Scalar Scalar::operator*(Scalar o) const {
+  return Scalar(MulMod(v_, o.v_, kGroupQ));
+}
+
+Scalar Scalar::Neg() const {
+  return Scalar(v_ == 0 ? 0 : kGroupQ - v_);
+}
+
+Scalar Scalar::Random(Rng* rng) { return Scalar(rng->NextU64(kGroupQ)); }
+
+Scalar Scalar::FromHash(const Hash256& h) { return Scalar(h.ToU64()); }
+
+GroupElement GroupElement::operator*(GroupElement o) const {
+  return GroupElement(MulMod(v_, o.v_, kGroupP));
+}
+
+GroupElement GroupElement::Inverse() const {
+  return GroupElement(PowMod(v_, kGroupP - 2, kGroupP));
+}
+
+GroupElement GroupElement::Pow(Scalar e) const {
+  return GroupElement(PowMod(v_, e.value(), kGroupP));
+}
+
+PedersenCommitment PedersenCommit(Scalar m, Scalar r) {
+  return PedersenCommitment{GroupElement::G().Pow(m) *
+                            GroupElement::H().Pow(r)};
+}
+
+bool PedersenOpen(const PedersenCommitment& commitment, Scalar m, Scalar r) {
+  return PedersenCommit(m, r) == commitment;
+}
+
+}  // namespace pbc::crypto

@@ -1,0 +1,97 @@
+// A prime-order group for Pedersen commitments and Σ-protocols.
+//
+// Substitution note (see DESIGN.md §2): production ZKP systems (Quorum,
+// Zcash) use elliptic-curve groups with ≥128-bit security. The survey's
+// claims concern protocol *structure* and *relative* overhead, so we use the
+// order-q subgroup of quadratic residues of Z_p^* for the safe prime
+//   p = 2q + 1 = 2305843009213691579  (61 bits),
+//   q = 1152921504606845789           (q prime),
+// with generators g = 4 and h = 9 (independent squares; log_g h unknown).
+// All exponentiations are real modular arithmetic — the code path and
+// asymptotics match a production group; only the parameter size is toy,
+// and that is documented everywhere the group is exposed.
+#ifndef PBC_CRYPTO_GROUP_H_
+#define PBC_CRYPTO_GROUP_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace pbc::crypto {
+
+/// Group modulus (safe prime) and subgroup order.
+inline constexpr uint64_t kGroupP = 2305843009213691579ULL;
+inline constexpr uint64_t kGroupQ = 1152921504606845789ULL;  // (p-1)/2
+inline constexpr uint64_t kGenG = 4;                         // order q
+inline constexpr uint64_t kGenH = 9;                         // order q
+
+/// \brief Arithmetic in the scalar field Z_q.
+class Scalar {
+ public:
+  Scalar() = default;
+  explicit Scalar(uint64_t v) : v_(v % kGroupQ) {}
+
+  uint64_t value() const { return v_; }
+
+  Scalar operator+(Scalar o) const;
+  Scalar operator-(Scalar o) const;
+  Scalar operator*(Scalar o) const;
+  Scalar Neg() const;
+
+  bool operator==(Scalar o) const { return v_ == o.v_; }
+  bool operator!=(Scalar o) const { return v_ != o.v_; }
+
+  /// Uniform random scalar.
+  static Scalar Random(Rng* rng);
+
+  /// Maps a digest into Z_q (Fiat–Shamir challenge derivation).
+  static Scalar FromHash(const Hash256& h);
+
+ private:
+  uint64_t v_ = 0;
+};
+
+/// \brief An element of the order-q subgroup of Z_p^*.
+class GroupElement {
+ public:
+  GroupElement() = default;
+  explicit GroupElement(uint64_t v) : v_(v % kGroupP) {}
+
+  uint64_t value() const { return v_; }
+
+  /// Group operation (modular multiplication).
+  GroupElement operator*(GroupElement o) const;
+  /// Inverse via Fermat: v^(p-2) mod p.
+  GroupElement Inverse() const;
+  /// Exponentiation by a scalar.
+  GroupElement Pow(Scalar e) const;
+
+  bool operator==(GroupElement o) const { return v_ == o.v_; }
+  bool operator!=(GroupElement o) const { return v_ != o.v_; }
+
+  static GroupElement G() { return GroupElement(kGenG); }
+  static GroupElement H() { return GroupElement(kGenH); }
+  static GroupElement Identity() { return GroupElement(1); }
+
+ private:
+  uint64_t v_ = 1;
+};
+
+/// \brief A Pedersen commitment C = g^m · h^r (perfectly hiding,
+/// computationally binding under DL in the subgroup).
+struct PedersenCommitment {
+  GroupElement c;
+
+  bool operator==(const PedersenCommitment& o) const { return c == o.c; }
+};
+
+/// \brief Commits to message scalar `m` with blinding `r`.
+PedersenCommitment PedersenCommit(Scalar m, Scalar r);
+
+/// \brief Checks an opening (m, r) against a commitment.
+bool PedersenOpen(const PedersenCommitment& commitment, Scalar m, Scalar r);
+
+}  // namespace pbc::crypto
+
+#endif  // PBC_CRYPTO_GROUP_H_

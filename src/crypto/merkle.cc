@@ -1,0 +1,88 @@
+#include "crypto/merkle.h"
+
+namespace pbc::crypto {
+
+Hash256 MerkleTree::HashLeaf(const Bytes& payload) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.Update(&tag, 1);
+  h.Update(payload);
+  return h.Finalize();
+}
+
+Hash256 MerkleTree::HashLeaf(const Hash256& digest) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.Update(&tag, 1);
+  h.Update(digest);
+  return h.Finalize();
+}
+
+Hash256 MerkleTree::HashNode(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.Update(&tag, 1);
+  h.Update(left);
+  h.Update(right);
+  return h.Finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<Hash256>& leaves)
+    : num_leaves_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash256::Zero();
+    return;
+  }
+  std::vector<Hash256> level;
+  level.reserve(leaves.size());
+  for (const auto& l : leaves) level.push_back(HashLeaf(l));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(HashNode(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (index >= num_leaves_) {
+    return Status::InvalidArgument("merkle proof index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    if (pos % 2 == 0) {
+      if (pos + 1 < nodes.size()) {
+        proof.path.push_back({nodes[pos + 1], /*sibling_is_left=*/false});
+        pos /= 2;
+      } else {
+        // Promoted node: no sibling at this level; position carries up.
+        pos = (nodes.size() + 1) / 2 - 1;
+      }
+    } else {
+      proof.path.push_back({nodes[pos - 1], /*sibling_is_left=*/true});
+      pos /= 2;
+    }
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Hash256& root, const Hash256& leaf,
+                        const MerkleProof& proof) {
+  Hash256 acc = HashLeaf(leaf);
+  for (const auto& step : proof.path) {
+    acc = step.sibling_is_left ? HashNode(step.sibling, acc)
+                               : HashNode(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace pbc::crypto

@@ -1,0 +1,64 @@
+// Binary Merkle trees over transaction digests: block headers commit to the
+// transaction set, and inclusion proofs let light participants (e.g. private
+// data collection members) verify membership without the full block.
+#ifndef PBC_CRYPTO_MERKLE_H_
+#define PBC_CRYPTO_MERKLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/sha256.h"
+
+namespace pbc::crypto {
+
+/// \brief One step of a Merkle inclusion proof.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_is_left = false;
+};
+
+/// \brief Inclusion proof for a leaf at a given index.
+struct MerkleProof {
+  size_t leaf_index = 0;
+  std::vector<MerkleStep> path;
+};
+
+/// \brief A binary Merkle tree with domain-separated leaf/node hashing.
+///
+/// Leaves are hashed as H(0x00 || leaf) and interior nodes as
+/// H(0x01 || left || right) to prevent second-preimage splices. An odd
+/// node at any level is promoted (Bitcoin-style duplication is avoided
+/// since it admits mutation attacks).
+class MerkleTree {
+ public:
+  /// Builds a tree over the given leaf digests. Empty input yields a
+  /// zero root.
+  explicit MerkleTree(const std::vector<Hash256>& leaves);
+
+  const Hash256& root() const { return root_; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Produces an inclusion proof for the leaf at `index`.
+  Result<MerkleProof> Prove(size_t index) const;
+
+  /// Verifies that `leaf` is included under `root` via `proof`.
+  static bool Verify(const Hash256& root, const Hash256& leaf,
+                     const MerkleProof& proof);
+
+  /// Hashes a raw leaf payload with leaf domain separation.
+  static Hash256 HashLeaf(const Bytes& payload);
+  static Hash256 HashLeaf(const Hash256& digest);
+
+ private:
+  static Hash256 HashNode(const Hash256& left, const Hash256& right);
+
+  size_t num_leaves_;
+  // levels_[0] = leaf digests (domain separated); last level = root.
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_;
+};
+
+}  // namespace pbc::crypto
+
+#endif  // PBC_CRYPTO_MERKLE_H_

@@ -1,0 +1,45 @@
+// Blocks: batches of transactions with a hash-chained header.
+#ifndef PBC_LEDGER_BLOCK_H_
+#define PBC_LEDGER_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "txn/transaction.h"
+
+namespace pbc::ledger {
+
+/// \brief Header committing to a block's position and contents.
+struct BlockHeader {
+  uint64_t height = 0;
+  crypto::Hash256 prev_hash;  ///< hash of the previous block's header
+  crypto::Hash256 txn_root;   ///< Merkle root over transaction digests
+  uint64_t timestamp_us = 0;  ///< simulated time of proposal
+
+  /// The block's identity: SHA-256 over the header fields.
+  crypto::Hash256 Hash() const;
+};
+
+/// \brief A block of transactions.
+struct Block {
+  BlockHeader header;
+  std::vector<txn::Transaction> txns;
+
+  /// Builds a block at `height` chaining to `prev_hash`, computing the
+  /// transaction Merkle root.
+  static Block Make(uint64_t height, const crypto::Hash256& prev_hash,
+                    std::vector<txn::Transaction> txns,
+                    uint64_t timestamp_us = 0);
+
+  /// Recomputes the Merkle root and checks it against the header.
+  bool VerifyTxnRoot() const;
+
+  /// Digests of all transactions, in order.
+  std::vector<crypto::Hash256> TxnDigests() const;
+};
+
+}  // namespace pbc::ledger
+
+#endif  // PBC_LEDGER_BLOCK_H_

@@ -1,0 +1,112 @@
+#include "ledger/dag_ledger.h"
+
+#include <set>
+
+namespace pbc::ledger {
+
+crypto::Hash256 DagVertex::ComputeHash(
+    const txn::Transaction& txn,
+    const std::vector<crypto::Hash256>& parents) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-dag-vertex"));
+  h.Update(txn.Digest());
+  h.UpdateU64(parents.size());
+  for (const auto& p : parents) h.Update(p);
+  return h.Finalize();
+}
+
+DagLedger::DagLedger(uint32_t num_enterprises)
+    : tips_(num_enterprises, crypto::Hash256::Zero()) {}
+
+Result<crypto::Hash256> DagLedger::AppendInternal(
+    txn::EnterpriseId enterprise, txn::Transaction txn) {
+  if (enterprise >= tips_.size()) {
+    return Status::InvalidArgument("unknown enterprise");
+  }
+  DagVertex v;
+  v.enterprise = enterprise;
+  v.cross = false;
+  if (!tips_[enterprise].IsZero()) v.parents.push_back(tips_[enterprise]);
+  v.hash = DagVertex::ComputeHash(txn, v.parents);
+  v.txn = std::move(txn);
+  tips_[enterprise] = v.hash;
+  index_[v.hash] = vertices_.size();
+  vertices_.push_back(std::move(v));
+  return vertices_.back().hash;
+}
+
+Result<crypto::Hash256> DagLedger::AppendCross(txn::Transaction txn) {
+  DagVertex v;
+  v.cross = true;
+  std::set<crypto::Hash256> seen;
+  for (const auto& tip : tips_) {
+    if (!tip.IsZero() && seen.insert(tip).second) v.parents.push_back(tip);
+  }
+  v.hash = DagVertex::ComputeHash(txn, v.parents);
+  v.txn = std::move(txn);
+  for (auto& tip : tips_) tip = v.hash;
+  index_[v.hash] = vertices_.size();
+  vertices_.push_back(std::move(v));
+  ++num_cross_;
+  return vertices_.back().hash;
+}
+
+crypto::Hash256 DagLedger::TipOf(txn::EnterpriseId enterprise) const {
+  return enterprise < tips_.size() ? tips_[enterprise]
+                                   : crypto::Hash256::Zero();
+}
+
+std::vector<DagVertex> DagLedger::ViewOf(txn::EnterpriseId enterprise) const {
+  std::vector<DagVertex> view;
+  for (const auto& v : vertices_) {
+    if (v.cross || v.enterprise == enterprise) view.push_back(v);
+  }
+  return view;
+}
+
+Status DagLedger::Audit() const {
+  std::set<crypto::Hash256> known;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const DagVertex& v = vertices_[i];
+    if (DagVertex::ComputeHash(v.txn, v.parents) != v.hash) {
+      return Status::Corruption("vertex hash mismatch at " +
+                                std::to_string(i));
+    }
+    for (const auto& p : v.parents) {
+      if (known.count(p) == 0) {
+        return Status::Corruption("vertex parent unknown at " +
+                                  std::to_string(i));
+      }
+    }
+    known.insert(v.hash);
+  }
+  return Status::OK();
+}
+
+Status DagLedger::AuditView(const std::vector<DagVertex>& view,
+                            txn::EnterpriseId enterprise) {
+  std::set<crypto::Hash256> known;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const DagVertex& v = view[i];
+    if (!v.cross && v.enterprise != enterprise) {
+      return Status::PermissionDenied(
+          "view contains another enterprise's internal transaction");
+    }
+    if (DagVertex::ComputeHash(v.txn, v.parents) != v.hash) {
+      return Status::Corruption("vertex hash mismatch at " +
+                                std::to_string(i));
+    }
+    for (const auto& p : v.parents) {
+      // Internal vertices must link within the view; cross vertices may
+      // reference other enterprises' (invisible) tips as opaque hashes.
+      if (!v.cross && known.count(p) == 0) {
+        return Status::Corruption("internal vertex parent unknown at " +
+                                  std::to_string(i));
+      }
+    }
+    known.insert(v.hash);
+  }
+  return Status::OK();
+}
+
+}  // namespace pbc::ledger

@@ -1,0 +1,86 @@
+// Caper's DAG ledger [8].
+//
+// The global ledger is a directed acyclic graph over transactions: each
+// enterprise's *internal* transactions form a private chain, and
+// *cross-enterprise* transactions are global vertices that join the tips of
+// every enterprise's chain. Crucially, no node materializes the whole DAG —
+// each enterprise holds only its own view (its internal transactions plus
+// all cross-enterprise ones). This class can represent both the notional
+// global DAG (for audits/tests) and any enterprise's view (via `ViewOf`).
+#ifndef PBC_LEDGER_DAG_LEDGER_H_
+#define PBC_LEDGER_DAG_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/sha256.h"
+#include "txn/transaction.h"
+
+namespace pbc::ledger {
+
+/// \brief One vertex of the DAG ledger.
+struct DagVertex {
+  txn::Transaction txn;
+  txn::EnterpriseId enterprise = 0;  ///< owner (unused for cross vertices)
+  bool cross = false;
+  std::vector<crypto::Hash256> parents;  ///< vertex hashes this extends
+  crypto::Hash256 hash;                  ///< H(txn digest || parents)
+
+  static crypto::Hash256 ComputeHash(
+      const txn::Transaction& txn,
+      const std::vector<crypto::Hash256>& parents);
+};
+
+/// \brief The Caper-style DAG ledger / an enterprise view of it.
+class DagLedger {
+ public:
+  /// Creates a ledger covering enterprises [0, num_enterprises).
+  explicit DagLedger(uint32_t num_enterprises);
+
+  /// Appends an internal transaction to `enterprise`'s chain; its parent is
+  /// that enterprise's current tip.
+  Result<crypto::Hash256> AppendInternal(txn::EnterpriseId enterprise,
+                                         txn::Transaction txn);
+
+  /// Appends a cross-enterprise transaction joining every enterprise tip;
+  /// afterwards all tips point at this vertex.
+  Result<crypto::Hash256> AppendCross(txn::Transaction txn);
+
+  /// The vertex a given enterprise's next internal transaction will extend.
+  crypto::Hash256 TipOf(txn::EnterpriseId enterprise) const;
+
+  /// Extracts `enterprise`'s view: its internal vertices plus every cross
+  /// vertex, in append order. This is exactly what that enterprise's nodes
+  /// store in Caper.
+  std::vector<DagVertex> ViewOf(txn::EnterpriseId enterprise) const;
+
+  /// Recomputes every vertex hash and checks parent linkage.
+  Status Audit() const;
+
+  /// True iff `view` is internally consistent and consistent with being
+  /// `enterprise`'s view of some global DAG: hashes verify and parents of
+  /// each vertex are earlier vertices of the view (cross parents from other
+  /// enterprises are allowed to be unknown — they are opaque hashes).
+  static Status AuditView(const std::vector<DagVertex>& view,
+                          txn::EnterpriseId enterprise);
+
+  size_t size() const { return vertices_.size(); }
+  const std::vector<DagVertex>& vertices() const { return vertices_; }
+  uint32_t num_enterprises() const { return static_cast<uint32_t>(tips_.size()); }
+
+  /// Counts of vertex kinds (bench reporting).
+  size_t num_cross() const { return num_cross_; }
+  size_t num_internal() const { return vertices_.size() - num_cross_; }
+
+ private:
+  std::vector<DagVertex> vertices_;
+  std::map<crypto::Hash256, size_t> index_;
+  std::vector<crypto::Hash256> tips_;  ///< per-enterprise tip
+  size_t num_cross_ = 0;
+};
+
+}  // namespace pbc::ledger
+
+#endif  // PBC_LEDGER_DAG_LEDGER_H_

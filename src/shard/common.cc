@@ -1,0 +1,128 @@
+#include "shard/common.h"
+
+namespace pbc::shard {
+
+ShardId KeyToShard(const store::Key& key, uint32_t num_shards) {
+  if (num_shards == 0) return 0;
+  // Explicit pin: "s<id>/...".
+  if (key.size() > 2 && key[0] == 's') {
+    size_t slash = key.find('/');
+    if (slash != store::Key::npos && slash > 1) {
+      uint32_t id = 0;
+      bool numeric = true;
+      for (size_t i = 1; i < slash; ++i) {
+        if (key[i] < '0' || key[i] > '9') {
+          numeric = false;
+          break;
+        }
+        id = id * 10 + (key[i] - '0');
+      }
+      if (numeric) return id % num_shards;
+    }
+  }
+  return static_cast<ShardId>(crypto::Sha256::Digest(key).ToU64() %
+                              num_shards);
+}
+
+std::vector<ShardId> ShardsOf(const txn::Transaction& txn,
+                              uint32_t num_shards) {
+  std::set<ShardId> shards;
+  for (const auto& k : txn.DeclaredReads()) {
+    shards.insert(KeyToShard(k, num_shards));
+  }
+  for (const auto& k : txn.DeclaredWrites()) {
+    shards.insert(KeyToShard(k, num_shards));
+  }
+  if (shards.empty()) shards.insert(0);
+  return {shards.begin(), shards.end()};
+}
+
+txn::Transaction ProjectToShard(const txn::Transaction& txn, ShardId shard,
+                                uint32_t num_shards) {
+  txn::Transaction local;
+  local.id = txn.id;
+  local.client = txn.client;
+  for (const auto& op : txn.ops) {
+    if (op.code == txn::OpCode::kCompute) continue;
+    if (op.code == txn::OpCode::kTransferGuarded) {
+      // Cross-shard transfers must be pre-decomposed into increments; a
+      // same-shard transfer projects whole.
+      if (KeyToShard(op.key, num_shards) == shard &&
+          KeyToShard(op.key2, num_shards) == shard) {
+        local.ops.push_back(op);
+      }
+      continue;
+    }
+    if (KeyToShard(op.key, num_shards) == shard) local.ops.push_back(op);
+  }
+  return local;
+}
+
+bool LocalPreconditionsHold(const txn::Transaction& local,
+                            const store::KvStore& store) {
+  // Track running balances so multiple increments on one key compose.
+  std::map<store::Key, int64_t> balance;
+  for (const auto& op : local.ops) {
+    if (op.code != txn::OpCode::kIncrement) continue;
+    auto it = balance.find(op.key);
+    if (it == balance.end()) {
+      auto v = store.Get(op.key);
+      it = balance
+               .emplace(op.key,
+                        v.ok() ? txn::DecodeInt(v.ValueOrDie().value) : 0)
+               .first;
+    }
+    it->second += op.delta;
+    if (op.delta < 0 && it->second < 0) return false;
+  }
+  return true;
+}
+
+ShardCluster::ShardCluster(ShardId id, sim::Network* net,
+                           crypto::KeyRegistry* registry,
+                           size_t replicas_per_shard,
+                           sim::NodeId base_node_id,
+                           consensus::ClusterConfig config)
+    : id_(id),
+      gateway_id_(base_node_id + static_cast<sim::NodeId>(replicas_per_shard)) {
+  cluster_ = std::make_unique<consensus::Cluster<consensus::PbftReplica>>(
+      net, registry, replicas_per_shard, config, base_node_id);
+  // The gateway observes every replica's commit stream and deduplicates:
+  // with up to f crashed replicas, the first surviving replica to commit
+  // still drives the cross-shard protocol forward.
+  for (size_t i = 0; i < replicas_per_shard; ++i) {
+    cluster_->replica(i)->set_commit_listener(
+        [this](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          OnClusterCommit(batch);
+        });
+  }
+}
+
+void ShardCluster::OrderAndThen(
+    txn::Transaction marker,
+    std::function<void(const txn::Transaction&)> then) {
+  pending_[marker.id] = std::move(then);
+  cluster_->Submit(marker);
+}
+
+void ShardCluster::OnClusterCommit(const consensus::Batch& batch) {
+  for (const auto& t : batch.txns) {
+    if (!seen_.insert(t.id).second) continue;  // another replica was first
+    ++ordered_;
+    auto it = pending_.find(t.id);
+    if (it != pending_.end()) {
+      auto fn = std::move(it->second);
+      pending_.erase(it);
+      fn(t);
+    }
+  }
+}
+
+void ShardCluster::Apply(const txn::Transaction& txn) {
+  auto r = txn::Execute(txn, txn::LatestReader(&store_));
+  if (!r.writes.empty()) {
+    store_.ApplyBatch(r.writes, store_.last_committed() + 1);
+  }
+}
+
+}  // namespace pbc::shard

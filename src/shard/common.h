@@ -1,0 +1,105 @@
+// Shared sharding infrastructure (§2.3.4).
+//
+// A `ShardCluster` is one fault-tolerant cluster: a real PBFT instance
+// ordering that shard's transactions, a gateway node that speaks the
+// cross-shard protocols, the shard's state store, and a 2PL lock table for
+// coordinator-based commits. Every protocol step that requires
+// cluster-internal agreement (prepare, decide, commit) is submitted as a
+// marker transaction into the cluster's PBFT and acted upon only when it
+// commits — so cross-shard coordination rides on genuine consensus rather
+// than on a trusted single node.
+//
+// Modeling note: replicas order; the gateway deterministically executes
+// the ordered log against the shard store. Since execution is a pure
+// function of the log, the gateway's store equals what every replica would
+// materialize; gateway state is thus "the cluster's state", not a trusted
+// shortcut for agreement (agreement always goes through PBFT).
+#ifndef PBC_SHARD_COMMON_H_
+#define PBC_SHARD_COMMON_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/cluster.h"
+#include "consensus/pbft.h"
+#include "store/kv_store.h"
+#include "txn/transaction.h"
+
+namespace pbc::shard {
+
+using ShardId = uint32_t;
+
+/// \brief Maps a key to its home shard (hash partitioning). Keys may pin
+/// a shard explicitly with the prefix "s<id>/".
+ShardId KeyToShard(const store::Key& key, uint32_t num_shards);
+
+/// \brief Shards touched by a transaction, ascending.
+std::vector<ShardId> ShardsOf(const txn::Transaction& txn,
+                              uint32_t num_shards);
+
+/// \brief The ops of `txn` whose keys live on `shard`.
+txn::Transaction ProjectToShard(const txn::Transaction& txn, ShardId shard,
+                                uint32_t num_shards);
+
+/// \brief Checks guarded semantics for the local projection: every
+/// negative increment must keep its balance non-negative. Used as the 2PC
+/// prepare-phase business check.
+bool LocalPreconditionsHold(const txn::Transaction& local,
+                            const store::KvStore& store);
+
+/// \brief One fault-tolerant cluster with its gateway.
+class ShardCluster {
+ public:
+  /// Creates the cluster: `replicas_per_shard` PBFT replicas with node ids
+  /// [base_node_id, …) plus a gateway at base_node_id + replicas_per_shard.
+  ShardCluster(ShardId id, sim::Network* net, crypto::KeyRegistry* registry,
+               size_t replicas_per_shard, sim::NodeId base_node_id,
+               consensus::ClusterConfig config = {});
+
+  ShardId id() const { return id_; }
+  sim::NodeId gateway_id() const { return gateway_id_; }
+
+  /// Submits `marker` to the cluster's PBFT; invokes `then` (on the
+  /// gateway) once the cluster has committed it.
+  void OrderAndThen(txn::Transaction marker,
+                    std::function<void(const txn::Transaction&)> then);
+
+  /// Applies a transaction's effects to the shard store (deterministic
+  /// execution of the ordered log).
+  void Apply(const txn::Transaction& txn);
+
+  store::KvStore* store() { return &store_; }
+  const store::KvStore& store() const { return store_; }
+  store::LockTable* locks() { return &locks_; }
+  consensus::Cluster<consensus::PbftReplica>* consensus() {
+    return cluster_.get();
+  }
+
+  /// Unique marker-transaction id space for this cluster.
+  txn::TxnId NextMarkerId() {
+    return (static_cast<txn::TxnId>(id_ + 1) << 40) | next_marker_++;
+  }
+
+  uint64_t ordered_txns() const { return ordered_; }
+
+ private:
+  void OnClusterCommit(const consensus::Batch& batch);
+
+  ShardId id_;
+  sim::NodeId gateway_id_;
+  std::unique_ptr<consensus::Cluster<consensus::PbftReplica>> cluster_;
+  store::KvStore store_;
+  store::LockTable locks_;
+  std::map<txn::TxnId, std::function<void(const txn::Transaction&)>>
+      pending_;
+  std::set<txn::TxnId> seen_;
+  uint64_t next_marker_ = 1;
+  uint64_t ordered_ = 0;
+};
+
+}  // namespace pbc::shard
+
+#endif  // PBC_SHARD_COMMON_H_

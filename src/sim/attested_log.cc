@@ -1,0 +1,39 @@
+#include "sim/attested_log.h"
+
+namespace pbc::sim {
+
+crypto::Hash256 AttestedLog::BindingDigest(uint32_t log_id, uint64_t sequence,
+                                           const crypto::Hash256& digest) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-attested-log"));
+  h.UpdateU64(log_id);
+  h.UpdateU64(sequence);
+  h.Update(digest);
+  return h.Finalize();
+}
+
+Result<Attestation> AttestedLog::Attest(uint64_t sequence,
+                                        const crypto::Hash256& digest) {
+  auto it = slots_.find(sequence);
+  if (it != slots_.end() && it->second != digest) {
+    return Status::AlreadyExists(
+        "attested log slot already bound to a different digest");
+  }
+  slots_[sequence] = digest;
+  Attestation a;
+  a.log_id = log_id_;
+  a.sequence = sequence;
+  a.digest = digest;
+  a.tag = key_.Sign(BindingDigest(log_id_, sequence, digest));
+  return a;
+}
+
+bool AttestedLog::Verify(const crypto::KeyRegistry& registry,
+                         const Attestation& attestation) {
+  return registry.Verify(
+      BindingDigest(attestation.log_id, attestation.sequence,
+                    attestation.digest),
+      attestation.tag);
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,63 @@
+// Software shim for AHL-style trusted hardware.
+//
+// Substitution note (see DESIGN.md §2): AHL [25] uses a TEE-hosted attested
+// message log (A2M [21] / MinBFT [59]) whose only protocol-relevant property
+// is *non-equivocation*: a node cannot produce two differently-attested
+// messages for the same sequence slot. This shim enforces exactly that
+// property in software — Attest() refuses a second digest for a used slot,
+// and attestations are HMAC tags verifiable by anyone holding the registry.
+// With equivocation structurally impossible, BFT quorums shrink from 3f+1
+// to 2f+1, which is the effect experiment E10 reproduces.
+#ifndef PBC_SIM_ATTESTED_LOG_H_
+#define PBC_SIM_ATTESTED_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "crypto/auth.h"
+#include "crypto/sha256.h"
+
+namespace pbc::sim {
+
+/// \brief An attestation binding (log id, sequence, digest).
+struct Attestation {
+  uint32_t log_id = 0;
+  uint64_t sequence = 0;
+  crypto::Hash256 digest;
+  crypto::Signature tag;
+};
+
+/// \brief The per-node attested append-only log.
+///
+/// One instance lives "inside the TEE" of each node: even a Byzantine host
+/// must route messages through it to obtain valid attestations, and the log
+/// will never attest two digests for one sequence number.
+class AttestedLog {
+ public:
+  AttestedLog(uint32_t log_id, crypto::PrivateKey key)
+      : log_id_(log_id), key_(std::move(key)) {}
+
+  /// Attests `digest` at `sequence`. Fails with AlreadyExists if the slot
+  /// holds a different digest (equivocation attempt); re-attesting the same
+  /// digest is idempotent.
+  Result<Attestation> Attest(uint64_t sequence, const crypto::Hash256& digest);
+
+  /// Verifies an attestation against the registry.
+  static bool Verify(const crypto::KeyRegistry& registry,
+                     const Attestation& attestation);
+
+  uint64_t size() const { return slots_.size(); }
+
+ private:
+  static crypto::Hash256 BindingDigest(uint32_t log_id, uint64_t sequence,
+                                       const crypto::Hash256& digest);
+
+  uint32_t log_id_;
+  crypto::PrivateKey key_;
+  std::unordered_map<uint64_t, crypto::Hash256> slots_;
+};
+
+}  // namespace pbc::sim
+
+#endif  // PBC_SIM_ATTESTED_LOG_H_

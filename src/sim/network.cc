@@ -1,0 +1,95 @@
+#include "sim/network.h"
+
+namespace pbc::sim {
+
+Node::Node(NodeId id, Network* net) : id_(id), net_(net) {
+  net_->RegisterNode(this);
+}
+
+void Node::SetTimer(Time delay, std::function<void()> fn) {
+  Network* net = net_;
+  NodeId id = id_;
+  net_->simulator()->Schedule(delay, [net, id, fn = std::move(fn)] {
+    if (!net->IsCrashed(id)) fn();
+  });
+}
+
+void Node::Send(NodeId to, MessagePtr msg) {
+  net_->Send(id_, to, std::move(msg));
+}
+
+void Node::Broadcast(const std::vector<NodeId>& to, MessagePtr msg) {
+  for (NodeId t : to) net_->Send(id_, t, msg);
+}
+
+void Network::RegisterNode(Node* node) { nodes_[node->id()] = node; }
+
+void Network::Start() {
+  for (auto& [id, node] : nodes_) {
+    if (!IsCrashed(id)) node->OnStart();
+  }
+}
+
+void Network::SetLinkLatency(NodeId from, NodeId to, LinkLatency latency) {
+  link_latency_[(static_cast<uint64_t>(from) << 32) | to] = latency;
+}
+
+LinkLatency Network::LatencyFor(NodeId from, NodeId to) const {
+  auto it = link_latency_.find((static_cast<uint64_t>(from) << 32) | to);
+  if (it != link_latency_.end()) return it->second;
+  return default_latency_;
+}
+
+bool Network::CanDeliver(NodeId from, NodeId to) const {
+  if (crashed_.count(to) > 0 || crashed_.count(from) > 0) return false;
+  if (partitioned_) {
+    auto fi = partition_.find(from);
+    auto ti = partition_.find(to);
+    // Nodes not listed in any group are isolated.
+    if (fi == partition_.end() || ti == partition_.end()) return false;
+    if (fi->second != ti->second) return false;
+  }
+  return true;
+}
+
+void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->ByteSize();
+
+  if (from != to && drop_rate_ > 0.0 && sim_->rng()->Bernoulli(drop_rate_)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  LinkLatency lat = from == to ? LinkLatency{1, 0} : LatencyFor(from, to);
+  Time jitter = lat.jitter_us == 0
+                    ? 0
+                    : sim_->rng()->NextU64(lat.jitter_us + 1);
+  Time delay = lat.base_us + jitter;
+
+  sim_->Schedule(delay, [this, from, to, msg = std::move(msg)] {
+    if (!CanDeliver(from, to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second->OnMessage(from, msg);
+  });
+}
+
+void Network::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_.clear();
+  int group_index = 0;
+  for (const auto& group : groups) {
+    for (NodeId id : group) partition_[id] = group_index;
+    ++group_index;
+  }
+  partitioned_ = true;
+}
+
+}  // namespace pbc::sim

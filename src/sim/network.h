@@ -1,0 +1,143 @@
+// Simulated network: per-link latency models, drops, partitions, crashes.
+//
+// Message complexity is the currency of the survey's consensus trade-offs
+// (PBFT quadratic vs HotStuff linear; cross-shard phase counts), so the
+// network counts every send and exposes the counters to benchmarks.
+#ifndef PBC_SIM_NETWORK_H_
+#define PBC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace pbc::sim {
+
+using NodeId = uint32_t;
+
+/// \brief Base class for protocol messages. Protocols subclass this and
+/// dispatch on `type()`.
+struct Message {
+  virtual ~Message() = default;
+  /// Stable type tag used for dispatch and logging.
+  virtual const char* type() const = 0;
+  /// Approximate wire size in bytes (for bandwidth accounting).
+  virtual size_t ByteSize() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// \brief Latency of one link: `base + U(0, jitter)` microseconds.
+struct LinkLatency {
+  Time base_us = 500;
+  Time jitter_us = 200;
+};
+
+class Network;
+
+/// \brief Base class for simulated nodes (replicas, orderers, clients).
+class Node {
+ public:
+  Node(NodeId id, Network* net);
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+  Network* network() const { return net_; }
+
+  /// Called once when the simulation starts.
+  virtual void OnStart() {}
+  /// Called on message delivery. Never invoked on crashed nodes.
+  virtual void OnMessage(NodeId from, const MessagePtr& msg) = 0;
+
+  /// Schedules `fn` after `delay`; silently dropped if this node has
+  /// crashed by firing time.
+  void SetTimer(Time delay, std::function<void()> fn);
+
+ protected:
+  /// Convenience wrappers over Network.
+  void Send(NodeId to, MessagePtr msg);
+  void Broadcast(const std::vector<NodeId>& to, MessagePtr msg);
+
+ private:
+  NodeId id_;
+  Network* net_;
+};
+
+/// \brief Cumulative traffic counters.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// \brief The simulated network fabric connecting nodes.
+class Network {
+ public:
+  explicit Network(Simulator* simulator) : sim_(simulator) {}
+
+  Simulator* simulator() const { return sim_; }
+  Time now() const { return sim_->now(); }
+
+  /// Registers a node; the network does not own it.
+  void RegisterNode(Node* node);
+
+  /// Invokes OnStart on every registered, non-crashed node.
+  void Start();
+
+  /// Default latency for links without an override.
+  void SetDefaultLatency(LinkLatency latency) { default_latency_ = latency; }
+
+  /// Per-link latency override (e.g. WAN links between distant clusters).
+  void SetLinkLatency(NodeId from, NodeId to, LinkLatency latency);
+
+  /// Fraction of messages silently dropped (both directions).
+  void SetDropRate(double rate) { drop_rate_ = rate; }
+
+  /// Sends a message; delivery is scheduled per the link's latency model.
+  /// Self-sends are delivered with minimal latency.
+  void Send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// --- Fault injection -------------------------------------------------
+
+  /// Crash-stop: the node receives no further messages or timers.
+  void Crash(NodeId id) { crashed_.insert(id); }
+  /// Recovers a crashed node (it keeps its pre-crash state).
+  void Recover(NodeId id) { crashed_.erase(id); }
+  bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  /// Partitions the network into groups; messages across groups are
+  /// dropped until Heal(). Nodes absent from all groups are isolated.
+  void Partition(const std::vector<std::vector<NodeId>>& groups);
+  void Heal() { partition_.clear(); partitioned_ = false; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  Node* node(NodeId id) const {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : it->second;
+  }
+
+ private:
+  bool CanDeliver(NodeId from, NodeId to) const;
+  LinkLatency LatencyFor(NodeId from, NodeId to) const;
+
+  Simulator* sim_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::set<NodeId> crashed_;
+  LinkLatency default_latency_;
+  std::unordered_map<uint64_t, LinkLatency> link_latency_;  // (from<<32)|to
+  double drop_rate_ = 0.0;
+  bool partitioned_ = false;
+  std::unordered_map<NodeId, int> partition_;  // node -> group
+  NetworkStats stats_;
+};
+
+}  // namespace pbc::sim
+
+#endif  // PBC_SIM_NETWORK_H_

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+namespace pbc::sim {
+
+void Simulator::Schedule(Time delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is safe here
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) Step();
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& pred, Time until) {
+  while (!pred()) {
+    if (queue_.empty() || queue_.top().at > until) return pred();
+    Step();
+  }
+  return true;
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,131 @@
+#include "store/kv_store.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pbc::store {
+
+Result<VersionedValue> KvStore::Get(const Key& key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  const Entry& e = it->second.back();
+  if (e.is_delete) return Status::NotFound("key deleted: " + key);
+  return VersionedValue{e.value, e.version};
+}
+
+Result<VersionedValue> KvStore::GetAt(const Key& key, Version version) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return Status::NotFound("key not found: " + key);
+  const auto& chain = it->second;
+  // Largest entry with entry.version <= version.
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), version,
+      [](Version v, const Entry& e) { return v < e.version; });
+  if (pos == chain.begin()) {
+    return Status::NotFound("key not visible at snapshot: " + key);
+  }
+  --pos;
+  if (pos->is_delete) return Status::NotFound("key deleted at snapshot: " + key);
+  return VersionedValue{pos->value, pos->version};
+}
+
+Version KvStore::VersionOf(const Key& key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return kNeverWritten;
+  return it->second.back().version;
+}
+
+Status KvStore::ApplyBatch(const WriteBatch& batch, Version commit_version) {
+  if (commit_version <= last_committed_) {
+    return Status::InvalidArgument("commit version must increase");
+  }
+  for (const auto& w : batch.writes()) {
+    auto& chain = chains_[w.key];
+    if (!chain.empty() && chain.back().version == commit_version) {
+      // Last-writer-wins inside one batch.
+      chain.back() = Entry{commit_version, w.value, w.is_delete};
+    } else {
+      chain.push_back(Entry{commit_version, w.value, w.is_delete});
+    }
+  }
+  last_committed_ = commit_version;
+  return Status::OK();
+}
+
+bool KvStore::ValidateReadSet(const std::vector<ReadAccess>& reads) const {
+  for (const auto& r : reads) {
+    if (VersionOf(r.key) != r.version) return false;
+  }
+  return true;
+}
+
+bool KvStore::SameLatestState(const KvStore& other) const {
+  // Compare live (non-deleted) latest values only.
+  auto live = [](const KvStore& s) {
+    std::map<Key, Value> out;
+    for (const auto& [k, chain] : s.chains_) {
+      if (!chain.empty() && !chain.back().is_delete) {
+        out[k] = chain.back().value;
+      }
+    }
+    return out;
+  };
+  return live(*this) == live(other);
+}
+
+void KvStore::ForEachLatest(
+    const std::function<void(const Key&, const VersionedValue&)>& fn) const {
+  for (const auto& [k, chain] : chains_) {
+    if (!chain.empty() && !chain.back().is_delete) {
+      fn(k, VersionedValue{chain.back().value, chain.back().version});
+    }
+  }
+}
+
+Status LockTable::LockShared(const Key& key, TxnId txn) {
+  LockState& s = locks_[key];
+  if (s.exclusive) {
+    if (s.holders.size() == 1 && s.holders[0] == txn) return Status::OK();
+    return Status::Conflict("exclusive lock held on " + key);
+  }
+  if (std::find(s.holders.begin(), s.holders.end(), txn) == s.holders.end()) {
+    s.holders.push_back(txn);
+  }
+  return Status::OK();
+}
+
+Status LockTable::LockExclusive(const Key& key, TxnId txn) {
+  LockState& s = locks_[key];
+  if (s.holders.empty()) {
+    s.exclusive = true;
+    s.holders.push_back(txn);
+    return Status::OK();
+  }
+  if (s.holders.size() == 1 && s.holders[0] == txn) {
+    s.exclusive = true;  // fresh grant or shared→exclusive upgrade
+    return Status::OK();
+  }
+  return Status::Conflict("lock held on " + key);
+}
+
+void LockTable::UnlockAll(TxnId txn) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    auto& holders = it->second.holders;
+    holders.erase(std::remove(holders.begin(), holders.end(), txn),
+                  holders.end());
+    if (holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockTable::IsLocked(const Key& key) const {
+  auto it = locks_.find(key);
+  return it != locks_.end() && !it->second.holders.empty();
+}
+
+}  // namespace pbc::store

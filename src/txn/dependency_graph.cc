@@ -1,0 +1,75 @@
+#include "txn/dependency_graph.h"
+
+#include <map>
+#include <set>
+
+namespace pbc::txn {
+
+DependencyGraph DependencyGraph::Build(const std::vector<Transaction>& txns) {
+  DependencyGraph g;
+  size_t n = txns.size();
+  g.adj_.assign(n, {});
+  g.in_degree_.assign(n, 0);
+
+  std::vector<std::set<store::Key>> reads(n), writes(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto r = txns[i].DeclaredReads();
+    auto w = txns[i].DeclaredWrites();
+    reads[i].insert(r.begin(), r.end());
+    writes[i].insert(w.begin(), w.end());
+  }
+
+  auto intersects = [](const std::set<store::Key>& a,
+                       const std::set<store::Key>& b) {
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool conflict = intersects(writes[i], reads[j]) ||
+                      intersects(reads[i], writes[j]) ||
+                      intersects(writes[i], writes[j]);
+      if (conflict) {
+        g.adj_[i].push_back(j);
+        ++g.in_degree_[j];
+        ++g.num_edges_;
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<size_t>> DependencyGraph::Levels() const {
+  size_t n = adj_.size();
+  std::vector<size_t> level(n, 0);
+  // Transactions were added in block order and all edges go forward, so a
+  // single forward pass computes longest-path levels.
+  size_t max_level = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j : adj_[i]) {
+      level[j] = std::max(level[j], level[i] + 1);
+      max_level = std::max(max_level, level[j]);
+    }
+  }
+  std::vector<std::vector<size_t>> out(n == 0 ? 0 : max_level + 1);
+  for (size_t i = 0; i < n; ++i) out[level[i]].push_back(i);
+  return out;
+}
+
+size_t DependencyGraph::CriticalPathLength() const {
+  auto levels = Levels();
+  return levels.size();
+}
+
+}  // namespace pbc::txn

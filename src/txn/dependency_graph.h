@@ -1,0 +1,50 @@
+// Transaction dependency graphs (ParBlockchain's OXII core mechanism).
+//
+// Given an ordered block of transactions with declared access sets, orderers
+// build a DAG whose edges capture conflicts (W→R, R→W, W→W on a shared key,
+// directed from the earlier transaction to the later one). Executors then
+// run non-conflicting transactions in parallel while the DAG's edges force
+// conflicting ones to respect the agreed total order.
+#ifndef PBC_TXN_DEPENDENCY_GRAPH_H_
+#define PBC_TXN_DEPENDENCY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace pbc::txn {
+
+/// \brief Conflict DAG over one block's transactions (indices into the
+/// block's transaction vector).
+class DependencyGraph {
+ public:
+  /// Builds the graph from declared read/write sets (no execution needed —
+  /// exactly what ParBlockchain's orderers do during the order phase).
+  static DependencyGraph Build(const std::vector<Transaction>& txns);
+
+  size_t num_txns() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Successors of transaction `i` (transactions that must wait for i).
+  const std::vector<size_t>& Successors(size_t i) const { return adj_[i]; }
+  /// Number of unmet dependencies of transaction `i`.
+  size_t InDegree(size_t i) const { return in_degree_[i]; }
+
+  /// Antichain decomposition: level k holds every transaction whose longest
+  /// dependency chain has length k. Transactions within a level are
+  /// mutually conflict-free and can execute in parallel.
+  std::vector<std::vector<size_t>> Levels() const;
+
+  /// Length of the longest dependency chain (the parallel critical path).
+  size_t CriticalPathLength() const;
+
+ private:
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<size_t> in_degree_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace pbc::txn
+
+#endif  // PBC_TXN_DEPENDENCY_GRAPH_H_

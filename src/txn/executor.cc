@@ -1,0 +1,54 @@
+#include "txn/executor.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pbc::txn {
+
+BlockExecStats ExecuteSerial(const std::vector<Transaction>& txns,
+                             store::KvStore* store) {
+  BlockExecStats stats;
+  for (const auto& t : txns) {
+    ExecResult r = Execute(t, LatestReader(store));
+    if (!r.writes.empty()) {
+      store->ApplyBatch(r.writes, store->last_committed() + 1);
+    }
+    ++stats.executed;
+  }
+  stats.levels = txns.size();
+  return stats;
+}
+
+BlockExecStats ExecuteDag(const std::vector<Transaction>& txns,
+                          const DependencyGraph& graph, ThreadPool* pool,
+                          store::KvStore* store) {
+  BlockExecStats stats;
+  stats.graph_edges = graph.num_edges();
+  auto levels = graph.Levels();
+  stats.levels = levels.size();
+
+  for (const auto& level : levels) {
+    // Execute the whole level in parallel against the current state.
+    // Transactions within a level are conflict-free, so their reads cannot
+    // observe each other's writes and their write sets are disjoint.
+    std::vector<ExecResult> results(level.size());
+    const store::KvStore* cstore = store;
+    pool->ParallelFor(level.size(), [&](size_t i) {
+      results[i] = Execute(txns[level[i]], LatestReader(cstore));
+    });
+    // Apply effects in block order for a deterministic version history.
+    std::vector<size_t> order(level.size());
+    for (size_t i = 0; i < level.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return level[a] < level[b]; });
+    for (size_t i : order) {
+      if (!results[i].writes.empty()) {
+        store->ApplyBatch(results[i].writes, store->last_committed() + 1);
+      }
+      ++stats.executed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace pbc::txn

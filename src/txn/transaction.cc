@@ -1,0 +1,180 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <set>
+
+namespace pbc::txn {
+
+namespace {
+
+void CollectAccess(const Transaction& txn, std::set<store::Key>* reads,
+                   std::set<store::Key>* writes) {
+  for (const auto& op : txn.ops) {
+    switch (op.code) {
+      case OpCode::kRead:
+        reads->insert(op.key);
+        break;
+      case OpCode::kWrite:
+        writes->insert(op.key);
+        break;
+      case OpCode::kIncrement:
+        reads->insert(op.key);
+        writes->insert(op.key);
+        break;
+      case OpCode::kTransferGuarded:
+        reads->insert(op.key);
+        reads->insert(op.key2);
+        writes->insert(op.key);
+        writes->insert(op.key2);
+        break;
+      case OpCode::kCompute:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<store::Key> Transaction::DeclaredReads() const {
+  std::set<store::Key> reads, writes;
+  CollectAccess(*this, &reads, &writes);
+  return {reads.begin(), reads.end()};
+}
+
+std::vector<store::Key> Transaction::DeclaredWrites() const {
+  std::set<store::Key> reads, writes;
+  CollectAccess(*this, &reads, &writes);
+  return {writes.begin(), writes.end()};
+}
+
+crypto::Hash256 Transaction::Digest() const {
+  crypto::Sha256 h;
+  h.UpdateU64(id);
+  h.UpdateU64(client);
+  h.UpdateU64(enterprise);
+  h.UpdateU64(cross_enterprise ? 1 : 0);
+  for (const auto& op : ops) {
+    h.UpdateU64(static_cast<uint64_t>(op.code));
+    h.Update(op.key);
+    h.Update(op.key2);
+    h.Update(op.value);
+    h.UpdateU64(static_cast<uint64_t>(op.delta));
+  }
+  return h.Finalize();
+}
+
+store::Value EncodeInt(int64_t v) { return std::to_string(v); }
+
+int64_t DecodeInt(const store::Value& v) {
+  int64_t out = 0;
+  std::from_chars(v.data(), v.data() + v.size(), out);
+  return out;
+}
+
+ExecResult Execute(const Transaction& txn, const Reader& reader) {
+  ExecResult result;
+  // Uncommitted effects visible to later ops of the same transaction.
+  std::map<store::Key, store::Value> local;
+  std::set<store::Key> read_recorded;
+
+  auto read = [&](const store::Key& key) -> store::Value {
+    auto local_it = local.find(key);
+    if (local_it != local.end()) {
+      // Still record the external version on first touch so conflict
+      // detection sees the read.
+      if (read_recorded.insert(key).second) {
+        auto r = reader(key);
+        result.reads.push_back(
+            {key, r.ok() ? r.ValueOrDie().version : store::kNeverWritten});
+      }
+      return local_it->second;
+    }
+    auto r = reader(key);
+    if (read_recorded.insert(key).second) {
+      result.reads.push_back(
+          {key, r.ok() ? r.ValueOrDie().version : store::kNeverWritten});
+    }
+    return r.ok() ? r.ValueOrDie().value : store::Value{};
+  };
+
+  auto write = [&](const store::Key& key, store::Value value) {
+    local[key] = value;
+    result.writes.Put(key, std::move(value));
+  };
+
+  for (const auto& op : txn.ops) {
+    switch (op.code) {
+      case OpCode::kRead:
+        read(op.key);
+        break;
+      case OpCode::kWrite:
+        write(op.key, op.value);
+        break;
+      case OpCode::kIncrement: {
+        int64_t cur = DecodeInt(read(op.key));
+        write(op.key, EncodeInt(cur + op.delta));
+        break;
+      }
+      case OpCode::kTransferGuarded: {
+        int64_t src = DecodeInt(read(op.key));
+        int64_t dst = DecodeInt(read(op.key2));
+        if (src >= op.delta) {
+          write(op.key, EncodeInt(src - op.delta));
+          write(op.key2, EncodeInt(dst + op.delta));
+        }
+        break;
+      }
+      case OpCode::kCompute: {
+        // Burn real CPU deterministically: repeated hashing models smart
+        // contract execution cost so parallel-execution speedups (E1) are
+        // measurable in wall-clock terms.
+        crypto::Hash256 acc;
+        for (int64_t i = 0; i < op.delta; ++i) {
+          crypto::Sha256 h;
+          h.Update(acc);
+          h.UpdateU64(static_cast<uint64_t>(i));
+          acc = h.Finalize();
+        }
+        result.compute_rounds += op.delta;
+        // Fold into writes? No — compute is pure; prevent the compiler
+        // from eliding it by keeping a data dependence.
+        if (acc.bytes[0] == 0xff && acc.bytes[1] == 0xff &&
+            acc.bytes[2] == 0xff && acc.bytes[3] == 0xff) {
+          result.compute_rounds += 1;  // astronomically unlikely
+        }
+        break;
+      }
+    }
+  }
+  // De-duplicate writes: last-writer-wins per key, preserving first-write
+  // order for determinism.
+  store::WriteBatch dedup;
+  std::map<store::Key, size_t> seen;
+  std::vector<store::WriteAccess> ordered;
+  for (const auto& w : result.writes.writes()) {
+    auto it = seen.find(w.key);
+    if (it == seen.end()) {
+      seen[w.key] = ordered.size();
+      ordered.push_back(w);
+    } else {
+      ordered[it->second] = w;
+    }
+  }
+  for (auto& w : ordered) dedup.Append(w);
+  result.writes = std::move(dedup);
+  return result;
+}
+
+Reader LatestReader(const store::KvStore* store) {
+  return [store](const store::Key& key) { return store->Get(key); };
+}
+
+Reader SnapshotReader(const store::KvStore* store, store::Version version) {
+  return [store, version](const store::Key& key) {
+    return store->GetAt(key, version);
+  };
+}
+
+}  // namespace pbc::txn

@@ -1,0 +1,106 @@
+// The transaction model shared by all architectures.
+//
+// Transactions are deterministic procedures over the KV store, expressed as
+// a short op program. Determinism is what lets OX replicas execute
+// sequentially and agree, and the declared access sets are what
+// ParBlockchain's orderers use to build dependency graphs without executing.
+#ifndef PBC_TXN_TRANSACTION_H_
+#define PBC_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/sha256.h"
+#include "store/kv_store.h"
+
+namespace pbc::txn {
+
+using TxnId = uint64_t;
+using EnterpriseId = uint32_t;
+
+/// \brief Operation kinds.
+enum class OpCode {
+  kRead,             ///< read `key`
+  kWrite,            ///< blind write `value` to `key`
+  kIncrement,        ///< read integer at `key` (default 0), add `delta`
+  kTransferGuarded,  ///< move `delta` from `key` to `key2` if funds suffice
+  kCompute,          ///< burn `delta` rounds of hashing (models contract cost)
+};
+
+/// \brief One operation of a transaction program.
+struct Op {
+  OpCode code;
+  store::Key key;
+  store::Key key2;  // kTransferGuarded destination
+  store::Value value;
+  int64_t delta = 0;
+
+  static Op Read(store::Key k) { return {OpCode::kRead, std::move(k), "", "", 0}; }
+  static Op Write(store::Key k, store::Value v) {
+    return {OpCode::kWrite, std::move(k), "", std::move(v), 0};
+  }
+  static Op Increment(store::Key k, int64_t d) {
+    return {OpCode::kIncrement, std::move(k), "", "", d};
+  }
+  static Op Transfer(store::Key from, store::Key to, int64_t amount) {
+    return {OpCode::kTransferGuarded, std::move(from), std::move(to), "",
+            amount};
+  }
+  static Op Compute(int64_t rounds) {
+    return {OpCode::kCompute, "", "", "", rounds};
+  }
+};
+
+/// \brief A client transaction.
+struct Transaction {
+  TxnId id = 0;
+  uint32_t client = 0;
+  /// Owning enterprise (Caper / ParBlockchain multi-enterprise routing).
+  EnterpriseId enterprise = 0;
+  /// True when the transaction spans enterprises (Caper cross-enterprise).
+  bool cross_enterprise = false;
+  std::vector<Op> ops;
+
+  /// Keys this transaction may read / write, derived statically from ops.
+  std::vector<store::Key> DeclaredReads() const;
+  std::vector<store::Key> DeclaredWrites() const;
+
+  /// Content digest used for ledger inclusion and signatures.
+  crypto::Hash256 Digest() const;
+};
+
+/// \brief Read interface execution runs against (latest state or snapshot).
+using Reader =
+    std::function<Result<store::VersionedValue>(const store::Key&)>;
+
+/// \brief Outcome of executing a transaction's program.
+struct ExecResult {
+  bool ok = true;  ///< false only on internal errors, not business no-ops
+  std::vector<store::ReadAccess> reads;   ///< keys + versions observed
+  store::WriteBatch writes;               ///< effects to apply
+  int64_t compute_rounds = 0;             ///< total kCompute work performed
+};
+
+/// \brief Executes `txn` deterministically against `reader`.
+///
+/// Never mutates state itself; the caller decides when/whether to apply
+/// `writes` (immediately in OX, after validation in XOV).
+ExecResult Execute(const Transaction& txn, const Reader& reader);
+
+/// \brief Reader over the latest committed state of a store.
+Reader LatestReader(const store::KvStore* store);
+
+/// \brief Reader over the state visible at `version`.
+Reader SnapshotReader(const store::KvStore* store, store::Version version);
+
+/// \brief Encodes an integer value for the store.
+store::Value EncodeInt(int64_t v);
+/// \brief Decodes an integer value; 0 for missing/invalid.
+int64_t DecodeInt(const store::Value& v);
+
+}  // namespace pbc::txn
+
+#endif  // PBC_TXN_TRANSACTION_H_

@@ -1,0 +1,71 @@
+#include "verify/crowdwork.h"
+
+namespace pbc::verify {
+
+ZkHourTracker::ZkHourTracker(uint32_t worker, uint64_t cap, Rng* rng)
+    : worker_(worker), cap_(cap), blinding_(Scalar::Random(rng)) {}
+
+Result<HourClaim> ZkHourTracker::Claim(uint64_t hours, Rng* rng) {
+  if (total_ + hours > cap_) {
+    return Status::InvalidArgument("cap exceeded: cannot build valid proof");
+  }
+  uint64_t new_total = total_ + hours;
+  HourClaim claim;
+  claim.worker = worker_;
+  claim.hours = hours;
+  // The hour increment is public, so the blinding is unchanged:
+  // C' = C · g^hours commits to (total + hours, blinding).
+  claim.new_total = crypto::PedersenCommit(Scalar(new_total), blinding_);
+
+  // Headroom commitment: g^cap / C' = g^(cap − new_total) · h^(−blinding).
+  PedersenCommitment headroom{GroupElement::G().Pow(Scalar(cap_)) *
+                              claim.new_total.c.Inverse()};
+  PBC_ASSIGN_OR_RETURN(
+      claim.headroom_proof,
+      ProveRange(headroom, cap_ - new_total, blinding_.Neg(), kHeadroomBits,
+                 rng));
+  total_ = new_total;
+  return claim;
+}
+
+HourRegistration ZkHourTracker::Register(Rng* rng) const {
+  HourRegistration reg;
+  reg.worker = worker_;
+  reg.zero_total = crypto::PedersenCommit(Scalar(0), blinding_);
+  reg.proof = ProveZero(reg.zero_total, blinding_, rng);
+  return reg;
+}
+
+Status ZkHourVerifier::Register(const HourRegistration& registration) {
+  if (current_.count(registration.worker) > 0) {
+    return Status::AlreadyExists("worker already registered this period");
+  }
+  if (!VerifyZero(registration.zero_total, registration.proof)) {
+    return Status::Corruption("zero-total proof failed");
+  }
+  current_[registration.worker] = registration.zero_total;
+  return Status::OK();
+}
+
+Status ZkHourVerifier::Accept(const HourClaim& claim) {
+  // (1) Hour accounting: the new commitment must equal previous · g^hours.
+  auto it = current_.find(claim.worker);
+  if (it == current_.end()) {
+    return Status::PermissionDenied("worker not registered this period");
+  }
+  GroupElement expected =
+      it->second.c * GroupElement::G().Pow(Scalar(claim.hours));
+  if (expected != claim.new_total.c) {
+    return Status::Corruption("hour accounting mismatch");
+  }
+  // (2) Headroom: g^cap / new_total commits to a non-negative value.
+  PedersenCommitment headroom{GroupElement::G().Pow(Scalar(cap_)) *
+                              claim.new_total.c.Inverse()};
+  if (!VerifyRange(headroom, claim.headroom_proof)) {
+    return Status::Corruption("headroom range proof failed");
+  }
+  current_[claim.worker] = claim.new_total;
+  return Status::OK();
+}
+
+}  // namespace pbc::verify

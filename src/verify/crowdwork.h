@@ -1,0 +1,89 @@
+// Multi-platform crowdworking constraint enforcement (§2.1.3, §2.3.2):
+// the FLSA-style "≤ cap work hours per week" check, implemented both ways
+// the survey describes so E7 can compare them head-to-head:
+//
+//   * token mode (Separ): the authority mints `cap` tokens per worker per
+//     period; spending one per hour enforces the cap (see tokens.h);
+//   * ZKP mode (Quorum/Zcash-style): the worker maintains a Pedersen
+//     commitment to its cross-platform hour total; each claim publishes
+//     the updated commitment plus a range proof that (cap − new_total) is
+//     non-negative. Platforms verify without learning the total.
+#ifndef PBC_VERIFY_CROWDWORK_H_
+#define PBC_VERIFY_CROWDWORK_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "verify/zkp.h"
+
+namespace pbc::verify {
+
+/// \brief One hour-claim as published to the platforms' shared ledger.
+struct HourClaim {
+  uint32_t worker = 0;  ///< stable pseudonym (linkable; see header note)
+  uint64_t hours = 0;   ///< hours claimed now (public per task)
+  PedersenCommitment new_total;  ///< commitment to the running total
+  RangeProof headroom_proof;     ///< (cap − new_total) ∈ [0, 2^bits)
+};
+
+/// \brief Period-start registration: the worker proves its initial
+/// commitment opens to zero hours, anchoring the homomorphic chain.
+struct HourRegistration {
+  uint32_t worker = 0;
+  PedersenCommitment zero_total;
+  ZeroProof proof;
+};
+
+/// \brief Worker-side secret state for the ZKP mode.
+class ZkHourTracker {
+ public:
+  ZkHourTracker(uint32_t worker, uint64_t cap, Rng* rng);
+
+  /// Produces the period-start registration (commitment to zero).
+  HourRegistration Register(Rng* rng) const;
+
+  /// Builds a claim for `hours` more work. Fails with InvalidArgument if
+  /// the cap would be exceeded (an honest worker cannot produce a valid
+  /// proof past the cap; a dishonest one fails verification).
+  Result<HourClaim> Claim(uint64_t hours, Rng* rng);
+
+  uint64_t total() const { return total_; }
+  PedersenCommitment commitment() const {
+    return crypto::PedersenCommit(Scalar(total_), blinding_);
+  }
+
+ private:
+  uint32_t worker_;
+  uint64_t cap_;
+  uint64_t total_ = 0;
+  Scalar blinding_;
+};
+
+/// \brief Platform-side verifier, replicated on every platform.
+class ZkHourVerifier {
+ public:
+  explicit ZkHourVerifier(uint64_t cap) : cap_(cap) {}
+
+  /// Registers a worker for the period; the zero-proof prevents starting
+  /// the chain at a non-zero total. AlreadyExists on re-registration.
+  Status Register(const HourRegistration& registration);
+
+  /// Verifies a claim against the worker's previous on-ledger commitment:
+  /// (1) new_total = previous · g^hours (homomorphic hour accounting),
+  /// (2) g^cap / new_total commits to a value in range (headroom ≥ 0).
+  /// Workers must be registered first.
+  Status Accept(const HourClaim& claim);
+
+  uint64_t cap() const { return cap_; }
+
+ private:
+  uint64_t cap_;
+  std::map<uint32_t, PedersenCommitment> current_;  ///< per-worker tip
+};
+
+/// \brief Range-proof width used for headroom proofs (cap < 2^kHeadroomBits).
+inline constexpr uint32_t kHeadroomBits = 7;  // caps up to 127 hours
+
+}  // namespace pbc::verify
+
+#endif  // PBC_VERIFY_CROWDWORK_H_

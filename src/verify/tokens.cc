@@ -1,0 +1,60 @@
+#include "verify/tokens.h"
+
+namespace pbc::verify {
+
+crypto::Hash256 TokenAuthority::TokenDigest(const Token& token) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-token"));
+  h.UpdateU64(token.constraint_id);
+  h.UpdateU64(token.period);
+  h.Update(token.serial);
+  return h.Finalize();
+}
+
+std::vector<Token> TokenAuthority::Mint(uint64_t constraint_id,
+                                        uint64_t period, size_t count,
+                                        Rng* rng) const {
+  std::vector<Token> tokens;
+  tokens.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Token t;
+    t.constraint_id = constraint_id;
+    t.period = period;
+    crypto::Sha256 h;
+    h.Update(std::string("pbc-token-serial"));
+    h.UpdateU64(rng->NextU64());
+    h.UpdateU64(rng->NextU64());
+    t.serial = h.Finalize();
+    t.authority_sig = key_.Sign(TokenDigest(t));
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+Status SpendLog::Spend(const Token& token) {
+  if (token.authority_sig.signer != authority_ ||
+      !registry_->Verify(TokenAuthority::TokenDigest(token),
+                         token.authority_sig)) {
+    return Status::Corruption("invalid authority signature on token");
+  }
+  if (spent_.count(token.serial) > 0) {
+    return Status::Conflict("token already spent");
+  }
+  spent_.insert(token.serial);
+  return Status::OK();
+}
+
+void TokenWallet::Deposit(std::vector<Token> tokens) {
+  for (auto& t : tokens) tokens_.push_back(std::move(t));
+}
+
+Result<Token> TokenWallet::Take() {
+  if (tokens_.empty()) {
+    return Status::NotFound("wallet empty: constraint budget exhausted");
+  }
+  Token t = std::move(tokens_.back());
+  tokens_.pop_back();
+  return t;
+}
+
+}  // namespace pbc::verify

@@ -1,0 +1,238 @@
+#include "verify/zkp.h"
+
+namespace pbc::verify {
+
+namespace {
+
+Scalar Challenge(std::initializer_list<uint64_t> elements) {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-fiat-shamir"));
+  for (uint64_t e : elements) h.UpdateU64(e);
+  return Scalar::FromHash(h.Finalize());
+}
+
+}  // namespace
+
+OpeningProof ProveOpening(const PedersenCommitment& commitment, Scalar m,
+                          Scalar r, Rng* rng) {
+  Scalar a = Scalar::Random(rng);
+  Scalar s = Scalar::Random(rng);
+  OpeningProof proof;
+  proof.t = GroupElement::G().Pow(a) * GroupElement::H().Pow(s);
+  Scalar c = Challenge({commitment.c.value(), proof.t.value()});
+  proof.z_m = a + c * m;
+  proof.z_r = s + c * r;
+  return proof;
+}
+
+bool VerifyOpening(const PedersenCommitment& commitment,
+                   const OpeningProof& proof) {
+  Scalar c = Challenge({commitment.c.value(), proof.t.value()});
+  GroupElement lhs =
+      GroupElement::G().Pow(proof.z_m) * GroupElement::H().Pow(proof.z_r);
+  GroupElement rhs = proof.t * commitment.c.Pow(c);
+  return lhs == rhs;
+}
+
+ZeroProof ProveZero(const PedersenCommitment& commitment, Scalar r,
+                    Rng* rng) {
+  ZeroProof proof;
+  Scalar w = Scalar::Random(rng);
+  proof.t = GroupElement::H().Pow(w);
+  Scalar c = Challenge({commitment.c.value(), proof.t.value(), 0});
+  proof.z = w + c * r;
+  return proof;
+}
+
+bool VerifyZero(const PedersenCommitment& commitment,
+                const ZeroProof& proof) {
+  Scalar c = Challenge({commitment.c.value(), proof.t.value(), 0});
+  return GroupElement::H().Pow(proof.z) == proof.t * commitment.c.Pow(c);
+}
+
+BitProof ProveBit(const PedersenCommitment& commitment, uint64_t bit,
+                  Scalar r, Rng* rng) {
+  // Statement: C = h^r  (bit 0)   OR   C·g⁻¹ = h^r  (bit 1).
+  GroupElement c0_target = commitment.c;                             // bit 0
+  GroupElement c1_target = commitment.c * GroupElement::G().Inverse();  // 1
+
+  BitProof proof;
+  Scalar w = Scalar::Random(rng);
+  if (bit == 0) {
+    // Simulate branch 1.
+    proof.c1 = Scalar::Random(rng);
+    proof.z1 = Scalar::Random(rng);
+    proof.t1 = GroupElement::H().Pow(proof.z1) *
+               c1_target.Pow(proof.c1).Inverse();
+    proof.t0 = GroupElement::H().Pow(w);
+    Scalar c = Challenge(
+        {commitment.c.value(), proof.t0.value(), proof.t1.value()});
+    proof.c0 = c - proof.c1;
+    proof.z0 = w + proof.c0 * r;
+  } else {
+    // Simulate branch 0.
+    proof.c0 = Scalar::Random(rng);
+    proof.z0 = Scalar::Random(rng);
+    proof.t0 = GroupElement::H().Pow(proof.z0) *
+               c0_target.Pow(proof.c0).Inverse();
+    proof.t1 = GroupElement::H().Pow(w);
+    Scalar c = Challenge(
+        {commitment.c.value(), proof.t0.value(), proof.t1.value()});
+    proof.c1 = c - proof.c0;
+    proof.z1 = w + proof.c1 * r;
+  }
+  return proof;
+}
+
+bool VerifyBit(const PedersenCommitment& commitment, const BitProof& proof) {
+  GroupElement c0_target = commitment.c;
+  GroupElement c1_target = commitment.c * GroupElement::G().Inverse();
+  Scalar c = Challenge(
+      {commitment.c.value(), proof.t0.value(), proof.t1.value()});
+  if (proof.c0 + proof.c1 != c) return false;
+  if (GroupElement::H().Pow(proof.z0) !=
+      proof.t0 * c0_target.Pow(proof.c0)) {
+    return false;
+  }
+  if (GroupElement::H().Pow(proof.z1) !=
+      proof.t1 * c1_target.Pow(proof.c1)) {
+    return false;
+  }
+  return true;
+}
+
+Result<RangeProof> ProveRange(const PedersenCommitment& commitment,
+                              uint64_t value, Scalar blinding, uint32_t bits,
+                              Rng* rng) {
+  if (bits == 0 || bits > 32) {
+    return Status::InvalidArgument("range bits must be in [1, 32]");
+  }
+  if (bits < 64 && value >= (uint64_t{1} << bits)) {
+    return Status::InvalidArgument("value out of range");
+  }
+  if (!crypto::PedersenOpen(commitment, Scalar(value), blinding)) {
+    return Status::InvalidArgument("opening does not match commitment");
+  }
+
+  RangeProof proof;
+  proof.bits = bits;
+  // Blindings: random for i ≥ 1; r_0 chosen so Σ 2^i·r_i = blinding.
+  std::vector<Scalar> r(bits);
+  Scalar weighted_sum(0);
+  for (uint32_t i = 1; i < bits; ++i) {
+    r[i] = Scalar::Random(rng);
+    weighted_sum = weighted_sum + Scalar(uint64_t{1} << i) * r[i];
+  }
+  r[0] = blinding - weighted_sum;
+
+  for (uint32_t i = 0; i < bits; ++i) {
+    uint64_t bit = (value >> i) & 1;
+    PedersenCommitment ci = crypto::PedersenCommit(Scalar(bit), r[i]);
+    proof.bit_commitments.push_back(ci);
+    proof.bit_proofs.push_back(ProveBit(ci, bit, r[i], rng));
+  }
+  return proof;
+}
+
+bool VerifyRange(const PedersenCommitment& commitment,
+                 const RangeProof& proof) {
+  if (proof.bits == 0 || proof.bits > 32) return false;
+  if (proof.bit_commitments.size() != proof.bits ||
+      proof.bit_proofs.size() != proof.bits) {
+    return false;
+  }
+  // Each bit is 0/1.
+  for (uint32_t i = 0; i < proof.bits; ++i) {
+    if (!VerifyBit(proof.bit_commitments[i], proof.bit_proofs[i])) {
+      return false;
+    }
+  }
+  // The weighted product reconstitutes the committed value.
+  GroupElement acc = GroupElement::Identity();
+  for (uint32_t i = 0; i < proof.bits; ++i) {
+    acc = acc * proof.bit_commitments[i].c.Pow(Scalar(uint64_t{1} << i));
+  }
+  return acc == commitment.c;
+}
+
+crypto::Hash256 Note::Nullifier() const {
+  crypto::Sha256 h;
+  h.Update(std::string("pbc-nullifier"));
+  h.UpdateU64(spend_secret);
+  return h.Finalize();
+}
+
+Result<ConfidentialTransfer> MakeTransfer(const Note& input,
+                                          uint64_t pay_amount,
+                                          uint32_t range_bits, Rng* rng,
+                                          Note* out_pay, Note* out_change) {
+  if (pay_amount > input.amount) {
+    return Status::InvalidArgument("insufficient funds");
+  }
+  out_pay->amount = pay_amount;
+  out_pay->blinding = Scalar::Random(rng);
+  out_pay->spend_secret = rng->NextU64();
+  out_change->amount = input.amount - pay_amount;
+  out_change->blinding = Scalar::Random(rng);
+  out_change->spend_secret = rng->NextU64();
+
+  ConfidentialTransfer t;
+  t.input = input.Commit();
+  t.output_pay = out_pay->Commit();
+  t.output_change = out_change->Commit();
+  t.nullifier = input.Nullifier();
+  t.input_opening =
+      ProveOpening(t.input, Scalar(input.amount), input.blinding, rng);
+  PBC_ASSIGN_OR_RETURN(
+      t.pay_range, ProveRange(t.output_pay, out_pay->amount,
+                              out_pay->blinding, range_bits, rng));
+  PBC_ASSIGN_OR_RETURN(
+      t.change_range, ProveRange(t.output_change, out_change->amount,
+                                 out_change->blinding, range_bits, rng));
+  t.blinding_excess =
+      input.blinding - out_pay->blinding - out_change->blinding;
+  return t;
+}
+
+bool VerifyTransfer(const ConfidentialTransfer& transfer) {
+  // Authorization: spender knows the input opening.
+  if (!VerifyOpening(transfer.input, transfer.input_opening)) return false;
+  // No negative outputs.
+  if (!VerifyRange(transfer.output_pay, transfer.pay_range)) return false;
+  if (!VerifyRange(transfer.output_change, transfer.change_range)) {
+    return false;
+  }
+  // Mass conservation: input = pay · change · h^excess.
+  GroupElement rhs = transfer.output_pay.c * transfer.output_change.c *
+                     GroupElement::H().Pow(transfer.blinding_excess);
+  return transfer.input.c == rhs;
+}
+
+void ConfidentialLedger::Mint(const PedersenCommitment& note) {
+  notes_.push_back(note);
+}
+
+bool ConfidentialLedger::Contains(const PedersenCommitment& note) const {
+  for (const auto& n : notes_) {
+    if (n == note) return true;
+  }
+  return false;
+}
+
+Status ConfidentialLedger::Apply(const ConfidentialTransfer& transfer) {
+  if (!Contains(transfer.input)) {
+    return Status::NotFound("input note unknown to the ledger");
+  }
+  if (nullifiers_.count(transfer.nullifier) > 0) {
+    return Status::Conflict("double spend: nullifier already seen");
+  }
+  if (!VerifyTransfer(transfer)) {
+    return Status::Corruption("transfer proof verification failed");
+  }
+  nullifiers_.insert(transfer.nullifier);
+  notes_.push_back(transfer.output_pay);
+  notes_.push_back(transfer.output_change);
+  return Status::OK();
+}
+
+}  // namespace pbc::verify

@@ -1,0 +1,136 @@
+#include "workload/workload.h"
+
+#include "confidential/caper.h"
+
+namespace pbc::workload {
+
+ZipfianKv::ZipfianKv(Options options, uint64_t seed)
+    : opt_(options),
+      rng_(seed),
+      zipf_(options.cold_keys, options.zipf_theta) {}
+
+txn::Transaction ZipfianKv::Next() {
+  txn::Transaction t;
+  t.id = next_id_++;
+  for (int i = 0; i < opt_.ops_per_txn; ++i) {
+    std::string key;
+    if (opt_.hot_probability > 0 && rng_.Bernoulli(opt_.hot_probability)) {
+      key = "hot" + std::to_string(rng_.NextU64(opt_.hot_keys));
+    } else {
+      key = "key" + std::to_string(zipf_.Next(&rng_));
+    }
+    t.ops.push_back(txn::Op::Increment(key, 1));
+  }
+  if (opt_.compute_rounds > 0) {
+    t.ops.push_back(txn::Op::Compute(opt_.compute_rounds));
+  }
+  return t;
+}
+
+std::vector<txn::Transaction> ZipfianKv::Block(size_t n) {
+  std::vector<txn::Transaction> block;
+  block.reserve(n);
+  for (size_t i = 0; i < n; ++i) block.push_back(Next());
+  return block;
+}
+
+SmallBank::SmallBank(uint64_t accounts, int64_t initial_balance,
+                     uint64_t seed)
+    : accounts_(accounts), initial_balance_(initial_balance), rng_(seed) {}
+
+std::vector<txn::Transaction> SmallBank::InitialDeposits() {
+  std::vector<txn::Transaction> txns;
+  for (uint64_t i = 0; i < accounts_; ++i) {
+    txn::Transaction t;
+    t.id = next_id_++;
+    t.ops.push_back(txn::Op::Increment(Account(i), initial_balance_));
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+txn::Transaction SmallBank::NextTransfer() {
+  uint64_t from = rng_.NextU64(accounts_);
+  uint64_t to = rng_.NextU64(accounts_);
+  if (to == from) to = (to + 1) % accounts_;
+  txn::Transaction t;
+  t.id = next_id_++;
+  t.ops.push_back(
+      txn::Op::Transfer(Account(from), Account(to), 1 + rng_.NextU64(10)));
+  return t;
+}
+
+SupplyChain::SupplyChain(uint32_t enterprises, double cross_fraction,
+                         uint64_t seed)
+    : enterprises_(enterprises),
+      cross_fraction_(cross_fraction),
+      rng_(seed) {}
+
+SupplyChain::Step SupplyChain::Next() {
+  Step step;
+  step.txn.id = next_id_++;
+  if (rng_.Bernoulli(cross_fraction_)) {
+    // Cross-enterprise hand-off recorded on the shared ledger.
+    step.cross = true;
+    step.txn.ops.push_back(txn::Op::Increment(
+        confidential::CaperSystem::SharedKey(
+            "shipment" + std::to_string(shipment_++ % 64)),
+        1));
+  } else {
+    step.cross = false;
+    step.enterprise = static_cast<txn::EnterpriseId>(
+        rng_.NextU64(enterprises_));
+    step.txn.ops.push_back(txn::Op::Increment(
+        confidential::CaperSystem::PrivateKeyFor(
+            step.enterprise, "process" + std::to_string(rng_.NextU64(32))),
+        1));
+  }
+  return step;
+}
+
+ShardedTransfers::ShardedTransfers(uint32_t shards,
+                                   uint64_t accounts_per_shard,
+                                   int64_t initial_balance,
+                                   double cross_fraction, uint64_t seed)
+    : shards_(shards),
+      accounts_per_shard_(accounts_per_shard),
+      initial_balance_(initial_balance),
+      cross_fraction_(cross_fraction),
+      rng_(seed) {}
+
+std::vector<txn::Transaction> ShardedTransfers::InitialDeposits() {
+  std::vector<txn::Transaction> txns;
+  for (uint32_t s = 0; s < shards_; ++s) {
+    for (uint64_t a = 0; a < accounts_per_shard_; ++a) {
+      txn::Transaction t;
+      t.id = next_id_++;
+      t.ops.push_back(txn::Op::Increment(Account(s, a), initial_balance_));
+      txns.push_back(std::move(t));
+    }
+  }
+  return txns;
+}
+
+txn::Transaction ShardedTransfers::NextTransfer() {
+  uint32_t src_shard = static_cast<uint32_t>(rng_.NextU64(shards_));
+  uint32_t dst_shard = src_shard;
+  if (shards_ > 1 && rng_.Bernoulli(cross_fraction_)) {
+    dst_shard = static_cast<uint32_t>(rng_.NextU64(shards_));
+    if (dst_shard == src_shard) dst_shard = (dst_shard + 1) % shards_;
+  }
+  uint64_t src = rng_.NextU64(accounts_per_shard_);
+  uint64_t dst = rng_.NextU64(accounts_per_shard_);
+  if (src_shard == dst_shard && src == dst) {
+    dst = (dst + 1) % accounts_per_shard_;
+  }
+  txn::Transaction t;
+  t.id = next_id_++;
+  int64_t amount = 1 + rng_.NextU64(5);
+  // Cross-shard transfers decompose into guarded debit + credit so each
+  // shard can prepare its half (see shard/common.h).
+  t.ops.push_back(txn::Op::Increment(Account(src_shard, src), -amount));
+  t.ops.push_back(txn::Op::Increment(Account(dst_shard, dst), amount));
+  return t;
+}
+
+}  // namespace pbc::workload

@@ -1,0 +1,124 @@
+// Synthetic workload generators (the substitution for the paper systems'
+// proprietary benchmarks — see DESIGN.md §2). Every generator is a pure
+// function of its Rng, so experiment runs replay from a seed.
+#ifndef PBC_WORKLOAD_WORKLOAD_H_
+#define PBC_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/transaction.h"
+
+namespace pbc::workload {
+
+/// \brief Read-modify-write KV workload with tunable contention.
+///
+/// Each transaction increments `ops_per_txn` keys; with probability
+/// `hot_probability` a key is drawn from a small hot set (size `hot_keys`),
+/// otherwise from `cold_keys` uniformly. `compute_rounds` adds execution
+/// cost per transaction (models contract logic) so parallel-execution
+/// speedups are measurable.
+class ZipfianKv {
+ public:
+  struct Options {
+    uint64_t cold_keys = 10000;
+    uint64_t hot_keys = 4;
+    double hot_probability = 0.0;
+    int ops_per_txn = 2;
+    int64_t compute_rounds = 0;
+    double zipf_theta = 0.0;  ///< skew of the cold-key draw
+  };
+
+  explicit ZipfianKv(Options options, uint64_t seed = 1);
+
+  txn::Transaction Next();
+  std::vector<txn::Transaction> Block(size_t n);
+
+ private:
+  Options opt_;
+  Rng rng_;
+  Zipfian zipf_;
+  txn::TxnId next_id_ = 1;
+};
+
+/// \brief SmallBank-style transfer workload over `accounts` accounts, each
+/// seeded with `initial_balance`. Produces guarded transfers; conservation
+/// of total balance is the workload invariant.
+class SmallBank {
+ public:
+  SmallBank(uint64_t accounts, int64_t initial_balance, uint64_t seed = 1);
+
+  /// The deposits establishing initial balances.
+  std::vector<txn::Transaction> InitialDeposits();
+  txn::Transaction NextTransfer();
+
+  int64_t expected_total() const {
+    return static_cast<int64_t>(accounts_) * initial_balance_;
+  }
+  static std::string Account(uint64_t i) {
+    return "acct" + std::to_string(i);
+  }
+
+ private:
+  uint64_t accounts_;
+  int64_t initial_balance_;
+  Rng rng_;
+  txn::TxnId next_id_ = 1;
+};
+
+/// \brief Supply-chain mix (§2.1.1): each enterprise updates its private
+/// process state (internal) and occasionally records a cross-enterprise
+/// hand-off (cross). `cross_fraction` controls the mix.
+class SupplyChain {
+ public:
+  SupplyChain(uint32_t enterprises, double cross_fraction,
+              uint64_t seed = 1);
+
+  struct Step {
+    bool cross = false;
+    txn::EnterpriseId enterprise = 0;  ///< submitter (internal only)
+    txn::Transaction txn;
+  };
+  Step Next();
+
+ private:
+  uint32_t enterprises_;
+  double cross_fraction_;
+  Rng rng_;
+  txn::TxnId next_id_ = 1;
+  uint64_t shipment_ = 0;
+};
+
+/// \brief Sharded transfer workload (§2.1.2): accounts are pinned to
+/// shards ("s<id>/acct<i>"); `cross_fraction` of transfers span shards.
+class ShardedTransfers {
+ public:
+  ShardedTransfers(uint32_t shards, uint64_t accounts_per_shard,
+                   int64_t initial_balance, double cross_fraction,
+                   uint64_t seed = 1);
+
+  std::vector<txn::Transaction> InitialDeposits();
+  txn::Transaction NextTransfer();
+
+  int64_t expected_total() const {
+    return static_cast<int64_t>(shards_) * accounts_per_shard_ *
+           initial_balance_;
+  }
+
+ private:
+  std::string Account(uint32_t shard, uint64_t index) const {
+    return "s" + std::to_string(shard) + "/acct" + std::to_string(index);
+  }
+
+  uint32_t shards_;
+  uint64_t accounts_per_shard_;
+  int64_t initial_balance_;
+  double cross_fraction_;
+  Rng rng_;
+  txn::TxnId next_id_ = 1;
+};
+
+}  // namespace pbc::workload
+
+#endif  // PBC_WORKLOAD_WORKLOAD_H_

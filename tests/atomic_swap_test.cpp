@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "confidential/atomic_swap.h"
+
+namespace pbc::confidential {
+namespace {
+
+constexpr PartyId kAlice = 1, kBob = 2;
+
+struct SwapWorld {
+  SwapWorld() : chain_a("gold"), chain_b("silver") {
+    chain_a.Mint(kAlice, 100);
+    chain_b.Mint(kBob, 500);
+  }
+  HtlcLedger chain_a, chain_b;
+
+  AtomicSwap MakeSwap() {
+    return AtomicSwap(&chain_a, &chain_b,
+                      {kAlice, kBob, /*amount_a=*/30, /*amount_b=*/150,
+                       /*delta=*/100});
+  }
+};
+
+TEST(HtlcLedgerTest, LockDebitsAndEscrows) {
+  SwapWorld w;
+  auto hash = crypto::Sha256::Digest(std::string("s"));
+  auto id = w.chain_a.Lock(kAlice, kBob, 30, hash, 100);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(w.chain_a.BalanceOf(kAlice), 70);
+  EXPECT_EQ(w.chain_a.BalanceOf(kBob), 0);
+}
+
+TEST(HtlcLedgerTest, LockValidation) {
+  SwapWorld w;
+  auto hash = crypto::Sha256::Digest(std::string("s"));
+  EXPECT_FALSE(w.chain_a.Lock(kAlice, kBob, 200, hash, 100).ok());  // funds
+  EXPECT_FALSE(w.chain_a.Lock(kAlice, kBob, -5, hash, 100).ok());
+  w.chain_a.AdvanceTime(100);
+  EXPECT_FALSE(w.chain_a.Lock(kAlice, kBob, 10, hash, 100).ok());  // past
+}
+
+TEST(HtlcLedgerTest, RedeemRequiresCorrectPreimage) {
+  SwapWorld w;
+  Bytes secret = ToBytes("the-secret");
+  auto id = w.chain_a.Lock(kAlice, kBob, 30,
+                           crypto::Sha256::Digest(secret), 100)
+                .ValueOrDie();
+  EXPECT_TRUE(
+      w.chain_a.Redeem(id, kBob, ToBytes("wrong")).IsCorruption());
+  EXPECT_TRUE(w.chain_a.Redeem(id, kAlice, secret).IsPermissionDenied());
+  ASSERT_TRUE(w.chain_a.Redeem(id, kBob, secret).ok());
+  EXPECT_EQ(w.chain_a.BalanceOf(kBob), 30);
+  // Settled contracts cannot be redeemed/refunded again.
+  EXPECT_FALSE(w.chain_a.Redeem(id, kBob, secret).ok());
+  w.chain_a.AdvanceTime(200);
+  EXPECT_FALSE(w.chain_a.Refund(id, kAlice).ok());
+}
+
+TEST(HtlcLedgerTest, RedeemClosedAfterTimeoutRefundOpens) {
+  SwapWorld w;
+  Bytes secret = ToBytes("s");
+  auto id = w.chain_a.Lock(kAlice, kBob, 30,
+                           crypto::Sha256::Digest(secret), 100)
+                .ValueOrDie();
+  EXPECT_TRUE(w.chain_a.Refund(id, kAlice).code() ==
+              StatusCode::kUnavailable);  // too early
+  w.chain_a.AdvanceTime(100);
+  EXPECT_EQ(w.chain_a.Redeem(id, kBob, secret).code(),
+            StatusCode::kTimedOut);
+  EXPECT_TRUE(w.chain_a.Refund(id, kBob).IsPermissionDenied());
+  ASSERT_TRUE(w.chain_a.Refund(id, kAlice).ok());
+  EXPECT_EQ(w.chain_a.BalanceOf(kAlice), 100);  // made whole
+}
+
+TEST(HtlcLedgerTest, RedeemPublishesPreimage) {
+  SwapWorld w;
+  Bytes secret = ToBytes("published");
+  auto id = w.chain_a.Lock(kAlice, kBob, 10,
+                           crypto::Sha256::Digest(secret), 100)
+                .ValueOrDie();
+  EXPECT_FALSE(w.chain_a.RevealedPreimage(id).ok());
+  ASSERT_TRUE(w.chain_a.Redeem(id, kBob, secret).ok());
+  EXPECT_EQ(w.chain_a.RevealedPreimage(id).ValueOrDie(), secret);
+}
+
+TEST(AtomicSwapTest, HappyPathSwapsBothAssets) {
+  SwapWorld w;
+  AtomicSwap swap = w.MakeSwap();
+  ASSERT_TRUE(swap.AliceLock(ToBytes("alices-secret")).ok());
+  ASSERT_TRUE(swap.BobLock().ok());
+  ASSERT_TRUE(swap.AliceRedeem().ok());
+  ASSERT_TRUE(swap.BobRedeem().ok());
+  // Alice traded 30 gold for 150 silver; Bob the reverse.
+  EXPECT_EQ(w.chain_a.BalanceOf(kAlice), 70);
+  EXPECT_EQ(w.chain_a.BalanceOf(kBob), 30);
+  EXPECT_EQ(w.chain_b.BalanceOf(kAlice), 150);
+  EXPECT_EQ(w.chain_b.BalanceOf(kBob), 350);
+}
+
+TEST(AtomicSwapTest, BobLearnsSecretOnlyFromChainB) {
+  SwapWorld w;
+  AtomicSwap swap = w.MakeSwap();
+  ASSERT_TRUE(swap.AliceLock(ToBytes("s3cret")).ok());
+  ASSERT_TRUE(swap.BobLock().ok());
+  // Bob cannot redeem before Alice reveals the preimage on chain B.
+  EXPECT_TRUE(swap.BobRedeem().IsNotFound());
+  ASSERT_TRUE(swap.AliceRedeem().ok());
+  EXPECT_TRUE(swap.BobRedeem().ok());
+}
+
+TEST(AtomicSwapTest, BobNeverLocksAgainstBadTerms) {
+  SwapWorld w;
+  // Alice locks a smaller amount than agreed; Bob refuses to mirror.
+  AtomicSwap swap(&w.chain_a, &w.chain_b,
+                  {kAlice, kBob, 30, 150, 100});
+  // Simulate Alice cheating by locking only 10 via a handcrafted contract.
+  Bytes secret = ToBytes("x");
+  auto id = w.chain_a.Lock(kAlice, kBob, 10,
+                           crypto::Sha256::Digest(secret), 1000);
+  ASSERT_TRUE(id.ok());
+  // Bob's verification in BobLock inspects contract_a_ — which was never
+  // set through AliceLock, so he sees "not locked".
+  EXPECT_FALSE(swap.BobLock().ok());
+}
+
+TEST(AtomicSwapTest, AliceStallsEveryoneRefunded) {
+  SwapWorld w;
+  AtomicSwap swap = w.MakeSwap();
+  ASSERT_TRUE(swap.AliceLock(ToBytes("never-revealed")).ok());
+  ASSERT_TRUE(swap.BobLock().ok());
+  // Alice disappears. Time passes beyond both timeouts.
+  w.chain_a.AdvanceTime(250);
+  w.chain_b.AdvanceTime(250);
+  ASSERT_TRUE(swap.RefundAll().ok());
+  EXPECT_EQ(w.chain_a.BalanceOf(kAlice), 100);
+  EXPECT_EQ(w.chain_b.BalanceOf(kBob), 500);
+}
+
+TEST(AtomicSwapTest, BobStallsAliceRefundedAfter2Delta) {
+  SwapWorld w;
+  AtomicSwap swap = w.MakeSwap();
+  ASSERT_TRUE(swap.AliceLock(ToBytes("s")).ok());
+  // Bob never locks. Alice can refund after 2Δ.
+  w.chain_a.AdvanceTime(199);
+  EXPECT_FALSE(w.chain_a.Refund(swap.contract_a(), kAlice).ok());
+  w.chain_a.AdvanceTime(1);
+  EXPECT_TRUE(w.chain_a.Refund(swap.contract_a(), kAlice).ok());
+  EXPECT_EQ(w.chain_a.BalanceOf(kAlice), 100);
+}
+
+TEST(AtomicSwapTest, TimeoutAsymmetryProtectsBob) {
+  // The dangerous interleaving: Alice redeems on B at the last moment
+  // before Δ; Bob must still have Δ of runway to redeem on A.
+  SwapWorld w;
+  AtomicSwap swap = w.MakeSwap();
+  ASSERT_TRUE(swap.AliceLock(ToBytes("s")).ok());
+  ASSERT_TRUE(swap.BobLock().ok());
+  w.chain_a.AdvanceTime(99);
+  w.chain_b.AdvanceTime(99);  // just before Bob's Δ=100 timeout
+  ASSERT_TRUE(swap.AliceRedeem().ok());
+  w.chain_a.AdvanceTime(100);  // now at 199 < 200 = Alice's 2Δ timeout
+  EXPECT_TRUE(swap.BobRedeem().ok());
+}
+
+}  // namespace
+}  // namespace pbc::confidential

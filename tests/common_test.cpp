@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace pbc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Conflict("key clash");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsConflict());
+  EXPECT_EQ(s.message(), "key clash");
+  EXPECT_EQ(s.ToString(), "Conflict: key clash");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    PBC_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto good = []() -> Result<int> { return 7; };
+  auto bad = []() -> Result<int> { return Status::Internal("boom"); };
+  auto use = [&](bool fail) -> Result<int> {
+    PBC_ASSIGN_OR_RETURN(int v, fail ? bad() : good());
+    return v * 2;
+  };
+  EXPECT_EQ(use(false).ValueOrDie(), 14);
+  EXPECT_EQ(use(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(BytesTest, HexEncode) {
+  Bytes b = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(HexEncode(b), "00ff10ab");
+}
+
+TEST(BytesTest, RoundTripString) {
+  std::string s = "hello\0world";
+  EXPECT_EQ(ToString(ToBytes(s)), s);
+}
+
+TEST(BytesTest, AppendU64LittleEndian) {
+  Bytes b;
+  AppendU64(&b, 0x0102030405060708ULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x08);
+  EXPECT_EQ(b[7], 0x01);
+}
+
+TEST(BytesTest, LengthPrefixed) {
+  Bytes b;
+  AppendLengthPrefixed(&b, std::string("abc"));
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 3);
+  EXPECT_EQ(b[4], 'a');
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(1000), b.NextU64(1000));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  Rng rng(11);
+  Zipfian z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[z.Next(&rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowRanks) {
+  Rng rng(11);
+  Zipfian z(1000, 0.99);
+  int low = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = z.Next(&rng);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // With theta=0.99, the top-10 of 1000 keys get a large share (>30%).
+  EXPECT_GT(low, kDraws * 3 / 10);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(50, [&](size_t) { count++; });
+  }
+  EXPECT_EQ(count.load(), 250);
+}
+
+}  // namespace
+}  // namespace pbc

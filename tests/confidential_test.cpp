@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "confidential/caper.h"
+#include "confidential/channels.h"
+#include "confidential/private_data.h"
+
+namespace pbc::confidential {
+namespace {
+
+using txn::Op;
+using txn::Transaction;
+
+Transaction T(txn::TxnId id, std::vector<Op> ops) {
+  Transaction t;
+  t.id = id;
+  t.ops = std::move(ops);
+  return t;
+}
+
+// --- Caper -------------------------------------------------------------------
+
+TEST(CaperTest, InternalTxnStaysLocal) {
+  CaperSystem caper(3);
+  auto key = CaperSystem::PrivateKeyFor(0, "inventory");
+  ASSERT_TRUE(caper.SubmitInternal(0, T(1, {Op::Write(key, "42")})).ok());
+
+  EXPECT_EQ(caper.enterprise(0).private_store().Get(key).ValueOrDie().value,
+            "42");
+  // Other enterprises' stores never see it.
+  EXPECT_FALSE(caper.enterprise(1).private_store().Get(key).ok());
+  EXPECT_FALSE(caper.enterprise(1).public_store().Get(key).ok());
+  // And their views contain no vertex for it.
+  EXPECT_TRUE(caper.enterprise(1).view().empty());
+  EXPECT_EQ(caper.enterprise(0).view().size(), 1u);
+}
+
+TEST(CaperTest, CrossTxnVisibleEverywhere) {
+  CaperSystem caper(3);
+  auto key = CaperSystem::SharedKey("contract");
+  ASSERT_TRUE(caper.SubmitCross(T(1, {Op::Write(key, "signed")})).ok());
+  for (uint32_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(caper.enterprise(e).public_store().Get(key).ValueOrDie().value,
+              "signed");
+    EXPECT_EQ(caper.enterprise(e).view().size(), 1u);
+  }
+}
+
+TEST(CaperTest, InternalTxnMustStayInNamespace) {
+  CaperSystem caper(2);
+  // Touching another enterprise's namespace is refused.
+  auto foreign = CaperSystem::PrivateKeyFor(1, "secret");
+  EXPECT_TRUE(caper.SubmitInternal(0, T(1, {Op::Read(foreign)}))
+                  .IsPermissionDenied());
+  // Touching shared data in an internal txn is refused too.
+  auto shared = CaperSystem::SharedKey("x");
+  EXPECT_TRUE(caper.SubmitInternal(0, T(2, {Op::Write(shared, "v")}))
+                  .IsPermissionDenied());
+}
+
+TEST(CaperTest, CrossTxnMustUseSharedNamespace) {
+  CaperSystem caper(2);
+  auto priv = CaperSystem::PrivateKeyFor(0, "secret");
+  EXPECT_TRUE(caper.SubmitCross(T(1, {Op::Read(priv)})).IsPermissionDenied());
+}
+
+TEST(CaperTest, DagInterleavesInternalAndCross) {
+  CaperSystem caper(2);
+  auto k0 = CaperSystem::PrivateKeyFor(0, "a");
+  auto k1 = CaperSystem::PrivateKeyFor(1, "b");
+  caper.SubmitInternal(0, T(1, {Op::Write(k0, "1")}));
+  caper.SubmitInternal(1, T(2, {Op::Write(k1, "2")}));
+  caper.SubmitCross(T(3, {Op::Write(CaperSystem::SharedKey("s"), "3")}));
+  caper.SubmitInternal(0, T(4, {Op::Write(k0, "4")}));
+
+  EXPECT_TRUE(caper.global_dag().Audit().ok());
+  // Enterprise 0's view: internal(1), cross(3), internal(4).
+  const auto& view = caper.enterprise(0).view();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_FALSE(view[0].cross);
+  EXPECT_TRUE(view[1].cross);
+  EXPECT_FALSE(view[2].cross);
+  // The post-cross internal txn chains to the cross vertex.
+  ASSERT_EQ(view[2].parents.size(), 1u);
+  EXPECT_EQ(view[2].parents[0], view[1].hash);
+  EXPECT_TRUE(ledger::DagLedger::AuditView(view, 0).ok());
+}
+
+TEST(CaperTest, CountersTrackKinds) {
+  CaperSystem caper(2);
+  caper.SubmitInternal(
+      0, T(1, {Op::Write(CaperSystem::PrivateKeyFor(0, "x"), "1")}));
+  caper.SubmitCross(T(2, {Op::Write(CaperSystem::SharedKey("y"), "2")}));
+  EXPECT_EQ(caper.internal_committed(), 1u);
+  EXPECT_EQ(caper.cross_committed(), 1u);
+}
+
+TEST(CaperTest, PluggableOrdererDefersCommit) {
+  CaperSystem caper(2);
+  std::vector<std::pair<Transaction, CaperSystem::CommitFn>> queue;
+  caper.SetGlobalOrderer([&](Transaction t, CaperSystem::CommitFn commit) {
+    queue.emplace_back(std::move(t), std::move(commit));
+  });
+  caper.SubmitCross(T(1, {Op::Write(CaperSystem::SharedKey("k"), "v")}));
+  EXPECT_EQ(caper.cross_committed(), 0u);  // still queued in "consensus"
+  queue[0].second(queue[0].first);
+  EXPECT_EQ(caper.cross_committed(), 1u);
+}
+
+// --- Channels ------------------------------------------------------------------
+
+TEST(ChannelTest, MembershipGatesReadsAndWrites) {
+  ChannelSystem sys;
+  ASSERT_TRUE(sys.CreateChannel(1, {0, 1}).ok());
+  ASSERT_TRUE(sys.Submit(1, 0, T(1, {Op::Write("k", "v")})).ok());
+
+  EXPECT_EQ(sys.Read(1, 1, "k").ValueOrDie().value, "v");
+  EXPECT_TRUE(sys.Read(1, 2, "k").status().IsPermissionDenied());
+  EXPECT_TRUE(sys.Submit(1, 2, T(2, {Op::Write("k", "w")}))
+                  .IsPermissionDenied());
+}
+
+TEST(ChannelTest, ChannelsAreIsolated) {
+  ChannelSystem sys;
+  sys.CreateChannel(1, {0, 1});
+  sys.CreateChannel(2, {1, 2});
+  sys.Submit(1, 0, T(1, {Op::Write("k", "ch1")}));
+  sys.Submit(2, 2, T(2, {Op::Write("k", "ch2")}));
+  EXPECT_EQ(sys.Read(1, 1, "k").ValueOrDie().value, "ch1");
+  EXPECT_EQ(sys.Read(2, 1, "k").ValueOrDie().value, "ch2");
+  // Enterprise 0 cannot see channel 2 at all.
+  EXPECT_TRUE(sys.Read(2, 0, "k").status().IsPermissionDenied());
+}
+
+TEST(ChannelTest, EnterpriseInMultipleChannels) {
+  ChannelSystem sys;
+  sys.CreateChannel(1, {0, 1});
+  sys.CreateChannel(2, {1, 2});
+  sys.CreateChannel(3, {0, 2});
+  EXPECT_EQ(sys.ChannelsOf(1), (std::vector<ChannelId>{1, 2}));
+  sys.Submit(1, 1, T(1, {Op::Write("a", "1")}));
+  sys.Submit(2, 1, T(2, {Op::Write("b", "2")}));
+  // Enterprise 1 stores both channels' ledgers — the replication cost of
+  // the channel approach.
+  EXPECT_EQ(sys.LedgerBlocksStoredBy(1), 2u);
+  EXPECT_EQ(sys.LedgerBlocksStoredBy(0), 1u);
+}
+
+TEST(ChannelTest, DuplicateChannelRejected) {
+  ChannelSystem sys;
+  ASSERT_TRUE(sys.CreateChannel(1, {0}).ok());
+  EXPECT_EQ(sys.CreateChannel(1, {0}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ChannelTest, CrossChannelAtomicCommit) {
+  ChannelSystem sys;
+  sys.CreateChannel(1, {0, 1});
+  sys.CreateChannel(2, {1, 2});
+  // Enterprise 1 (member of both) moves an asset between channels.
+  sys.Submit(1, 0, T(1, {Op::Write("asset", txn::EncodeInt(100))}));
+  Status s = sys.SubmitCrossChannel(
+      1, T(2, {Op::Increment("asset", -40)}), 2,
+      T(3, {Op::Increment("mirror", 40)}), /*submitter=*/1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(txn::DecodeInt(sys.Read(1, 1, "asset").ValueOrDie().value), 60);
+  EXPECT_EQ(txn::DecodeInt(sys.Read(2, 1, "mirror").ValueOrDie().value), 40);
+  EXPECT_EQ(sys.cross_channel_commits(), 1u);
+}
+
+TEST(ChannelTest, CrossChannelRequiresDualMembership) {
+  ChannelSystem sys;
+  sys.CreateChannel(1, {0, 1});
+  sys.CreateChannel(2, {1, 2});
+  // Enterprise 0 is not in channel 2.
+  Status s = sys.SubmitCrossChannel(1, T(1, {Op::Write("a", "x")}), 2,
+                                    T(2, {Op::Write("b", "y")}), 0);
+  EXPECT_TRUE(s.IsPermissionDenied());
+  EXPECT_EQ(sys.cross_channel_aborts(), 1u);
+}
+
+TEST(ChannelTest, LedgerAuditsClean) {
+  ChannelSystem sys;
+  sys.CreateChannel(1, {0});
+  for (int i = 0; i < 10; ++i) {
+    sys.Submit(1, 0, T(i, {Op::Write("k" + std::to_string(i), "v")}));
+  }
+  EXPECT_EQ(sys.channel(1).chain().height(), 10u);
+  EXPECT_TRUE(sys.channel(1).chain().Audit().ok());
+}
+
+// --- Private data collections ---------------------------------------------------
+
+TEST(PdcTest, MembersSeePlaintextOthersSeeHash) {
+  PdcChannel channel({0, 1, 2});
+  ASSERT_TRUE(channel.DefineCollection("deal", {0, 1}).ok());
+  ASSERT_TRUE(channel.PutPrivate("deal", 0, "price", "99", 7).ok());
+
+  EXPECT_EQ(channel.GetPrivate("deal", 1, "price").ValueOrDie().value, "99");
+  // Enterprise 2 is a channel member but not a collection member: it gets
+  // the hash, not the value.
+  EXPECT_TRUE(
+      channel.GetPrivate("deal", 2, "price").status().IsPermissionDenied());
+  auto hash = channel.GetOnLedgerHash(2, "deal", "price");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash.ValueOrDie(), PdcChannel::HashPrivate("price", "99", 7));
+}
+
+TEST(PdcTest, OpeningVerificationDetectsLies) {
+  PdcChannel channel({0, 1, 2});
+  channel.DefineCollection("deal", {0, 1});
+  channel.PutPrivate("deal", 0, "price", "99", 7);
+  // The truthful opening verifies; a lie does not.
+  EXPECT_TRUE(channel.VerifyOpening(2, "deal", "price", "99", 7).ValueOrDie());
+  EXPECT_FALSE(
+      channel.VerifyOpening(2, "deal", "price", "98", 7).ValueOrDie());
+  EXPECT_FALSE(
+      channel.VerifyOpening(2, "deal", "price", "99", 8).ValueOrDie());
+}
+
+TEST(PdcTest, CollectionMembersMustBeChannelMembers) {
+  PdcChannel channel({0, 1});
+  EXPECT_FALSE(channel.DefineCollection("bad", {0, 5}).ok());
+}
+
+TEST(PdcTest, NonMemberCannotWrite) {
+  PdcChannel channel({0, 1, 2});
+  channel.DefineCollection("deal", {0, 1});
+  EXPECT_TRUE(
+      channel.PutPrivate("deal", 2, "k", "v", 1).IsPermissionDenied());
+}
+
+TEST(PdcTest, MultipleCollectionsIndependent) {
+  PdcChannel channel({0, 1, 2});
+  channel.DefineCollection("c01", {0, 1});
+  channel.DefineCollection("c12", {1, 2});
+  channel.PutPrivate("c01", 0, "k", "v01", 1);
+  channel.PutPrivate("c12", 2, "k", "v12", 2);
+  EXPECT_EQ(channel.GetPrivate("c01", 1, "k").ValueOrDie().value, "v01");
+  EXPECT_EQ(channel.GetPrivate("c12", 1, "k").ValueOrDie().value, "v12");
+  EXPECT_FALSE(channel.GetPrivate("c12", 0, "k").ok());
+  EXPECT_EQ(channel.CollectionReplication("c01").ValueOrDie(), 2u);
+}
+
+TEST(PdcTest, PublicStateSharedByChannel) {
+  PdcChannel channel({0, 1});
+  ASSERT_TRUE(channel.PutPublic(0, "pub", "x").ok());
+  EXPECT_EQ(channel.GetPublic(1, "pub").ValueOrDie().value, "x");
+  EXPECT_TRUE(channel.GetPublic(9, "pub").status().IsPermissionDenied());
+}
+
+TEST(PdcTest, SaltPreventsEqualValueLinkage) {
+  // Two writes of the same value under different salts produce different
+  // on-ledger hashes (no dictionary/linkage attacks).
+  auto h1 = PdcChannel::HashPrivate("k", "same-value", 1);
+  auto h2 = PdcChannel::HashPrivate("k", "same-value", 2);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace pbc::confidential

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "ledger/block.h"
+#include "ledger/chain.h"
+#include "ledger/dag_ledger.h"
+
+namespace pbc::ledger {
+namespace {
+
+txn::Transaction MakeTxn(txn::TxnId id, const std::string& key,
+                         const std::string& value) {
+  txn::Transaction t;
+  t.id = id;
+  t.ops.push_back(txn::Op::Write(key, value));
+  return t;
+}
+
+Block MakeBlockAt(const Chain& chain, int ntxns, txn::TxnId base_id) {
+  std::vector<txn::Transaction> txns;
+  for (int i = 0; i < ntxns; ++i) {
+    txns.push_back(MakeTxn(base_id + i, "k" + std::to_string(i), "v"));
+  }
+  return Block::Make(chain.height(), chain.TipHash(), std::move(txns));
+}
+
+TEST(BlockTest, MakeComputesMerkleRoot) {
+  Chain chain;
+  Block b = MakeBlockAt(chain, 4, 0);
+  EXPECT_TRUE(b.VerifyTxnRoot());
+  EXPECT_EQ(b.header.height, 0u);
+  EXPECT_TRUE(b.header.prev_hash.IsZero());
+}
+
+TEST(BlockTest, TamperedTxnBreaksRoot) {
+  Chain chain;
+  Block b = MakeBlockAt(chain, 4, 0);
+  b.txns[2].ops[0].value = "evil";
+  EXPECT_FALSE(b.VerifyTxnRoot());
+}
+
+TEST(BlockTest, HeaderHashCoversAllFields) {
+  Chain chain;
+  Block b = MakeBlockAt(chain, 2, 0);
+  auto h0 = b.header.Hash();
+  BlockHeader modified = b.header;
+  modified.height++;
+  EXPECT_NE(modified.Hash(), h0);
+  modified = b.header;
+  modified.timestamp_us = 12345;
+  EXPECT_NE(modified.Hash(), h0);
+}
+
+TEST(ChainTest, AppendLinksBlocks) {
+  Chain chain;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(chain.Append(MakeBlockAt(chain, 3, i * 10)).ok());
+  }
+  EXPECT_EQ(chain.height(), 5u);
+  EXPECT_TRUE(chain.Audit().ok());
+}
+
+TEST(ChainTest, AppendRejectsWrongHeight) {
+  Chain chain;
+  Block b = MakeBlockAt(chain, 1, 0);
+  b.header.height = 3;
+  EXPECT_FALSE(chain.Append(b).ok());
+}
+
+TEST(ChainTest, AppendRejectsBrokenLinkage) {
+  Chain chain;
+  ASSERT_TRUE(chain.Append(MakeBlockAt(chain, 1, 0)).ok());
+  Block b = MakeBlockAt(chain, 1, 10);
+  b.header.prev_hash = crypto::Sha256::Digest(std::string("wrong"));
+  auto s = chain.Append(b);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(ChainTest, AppendRejectsBadMerkleRoot) {
+  Chain chain;
+  Block b = MakeBlockAt(chain, 2, 0);
+  b.txns[0].ops[0].value = "tampered-after-sealing";
+  EXPECT_TRUE(chain.Append(b).IsCorruption());
+}
+
+TEST(ChainTest, AuditDetectsPostHocTampering) {
+  Chain chain;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(chain.Append(MakeBlockAt(chain, 2, i * 10)).ok());
+  }
+  ASSERT_TRUE(chain.Audit().ok());
+  // Flip one transaction byte deep in history.
+  chain.MutableBlockForTest(1)->txns[0].ops[0].value = "evil";
+  EXPECT_TRUE(chain.Audit().IsCorruption());
+}
+
+TEST(ChainTest, AuditDetectsHeaderRewrite) {
+  Chain chain;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(chain.Append(MakeBlockAt(chain, 1, i)).ok());
+  }
+  // Rewriting a header breaks the next block's prev link.
+  chain.MutableBlockForTest(1)->header.timestamp_us = 999;
+  EXPECT_TRUE(chain.Audit().IsCorruption());
+}
+
+TEST(ChainTest, InclusionProofs) {
+  Chain chain;
+  ASSERT_TRUE(chain.Append(MakeBlockAt(chain, 8, 0)).ok());
+  const Block& b = chain.at(0);
+  auto proof = chain.ProveInclusion(0, 5);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(Chain::VerifyInclusion(b.header, b.txns[5].Digest(),
+                                     proof.ValueOrDie()));
+  EXPECT_FALSE(Chain::VerifyInclusion(b.header, b.txns[4].Digest(),
+                                      proof.ValueOrDie()));
+}
+
+TEST(ChainTest, PrefixConsistency) {
+  Chain a, b;
+  for (int i = 0; i < 3; ++i) {
+    Block blk = MakeBlockAt(a, 2, i * 10);
+    ASSERT_TRUE(a.Append(blk).ok());
+    if (i < 2) { ASSERT_TRUE(b.Append(blk).ok()); }
+  }
+  EXPECT_TRUE(a.PrefixConsistentWith(b));
+  EXPECT_TRUE(b.PrefixConsistentWith(a));
+  EXPECT_FALSE(a.SameAs(b));
+  ASSERT_TRUE(b.Append(MakeBlockAt(b, 2, 20)).ok());
+  EXPECT_TRUE(a.SameAs(b));
+}
+
+TEST(ChainTest, DivergentChainsDetected) {
+  Chain a, b;
+  ASSERT_TRUE(a.Append(MakeBlockAt(a, 1, 1)).ok());
+  ASSERT_TRUE(b.Append(MakeBlockAt(b, 1, 2)).ok());  // different txn
+  EXPECT_FALSE(a.PrefixConsistentWith(b));
+}
+
+// --- DAG ledger (Caper) ------------------------------------------------------
+
+txn::Transaction InternalTxn(txn::TxnId id, txn::EnterpriseId e) {
+  txn::Transaction t;
+  t.id = id;
+  t.enterprise = e;
+  t.ops.push_back(txn::Op::Write("internal/" + std::to_string(e), "x"));
+  return t;
+}
+
+txn::Transaction CrossTxn(txn::TxnId id) {
+  txn::Transaction t;
+  t.id = id;
+  t.cross_enterprise = true;
+  t.ops.push_back(txn::Op::Write("shared/k", "y"));
+  return t;
+}
+
+TEST(DagLedgerTest, InternalChainsAreIndependent) {
+  DagLedger dag(3);
+  ASSERT_TRUE(dag.AppendInternal(0, InternalTxn(1, 0)).ok());
+  ASSERT_TRUE(dag.AppendInternal(1, InternalTxn(2, 1)).ok());
+  ASSERT_TRUE(dag.AppendInternal(0, InternalTxn(3, 0)).ok());
+  EXPECT_EQ(dag.size(), 3u);
+  EXPECT_TRUE(dag.Audit().ok());
+  // Enterprise 0's second txn has one parent: its first txn.
+  const auto& v = dag.vertices()[2];
+  ASSERT_EQ(v.parents.size(), 1u);
+  EXPECT_EQ(v.parents[0], dag.vertices()[0].hash);
+}
+
+TEST(DagLedgerTest, CrossTxnJoinsAllTips) {
+  DagLedger dag(3);
+  dag.AppendInternal(0, InternalTxn(1, 0));
+  dag.AppendInternal(1, InternalTxn(2, 1));
+  auto cross = dag.AppendCross(CrossTxn(3));
+  ASSERT_TRUE(cross.ok());
+  const auto& v = dag.vertices()[2];
+  EXPECT_TRUE(v.cross);
+  EXPECT_EQ(v.parents.size(), 2u);  // enterprises 0 and 1 had tips; 2 empty
+  // All tips now point at the cross vertex.
+  for (txn::EnterpriseId e = 0; e < 3; ++e) {
+    EXPECT_EQ(dag.TipOf(e), cross.ValueOrDie());
+  }
+}
+
+TEST(DagLedgerTest, InternalAfterCrossChainsToCross) {
+  DagLedger dag(2);
+  dag.AppendCross(CrossTxn(1));
+  dag.AppendInternal(0, InternalTxn(2, 0));
+  const auto& v = dag.vertices()[1];
+  ASSERT_EQ(v.parents.size(), 1u);
+  EXPECT_EQ(v.parents[0], dag.vertices()[0].hash);
+  EXPECT_TRUE(dag.Audit().ok());
+}
+
+TEST(DagLedgerTest, ViewContainsOnlyOwnInternalsPlusCross) {
+  DagLedger dag(2);
+  dag.AppendInternal(0, InternalTxn(1, 0));
+  dag.AppendInternal(1, InternalTxn(2, 1));
+  dag.AppendCross(CrossTxn(3));
+  dag.AppendInternal(1, InternalTxn(4, 1));
+
+  auto view0 = dag.ViewOf(0);
+  ASSERT_EQ(view0.size(), 2u);  // own internal + cross
+  EXPECT_FALSE(view0[0].cross);
+  EXPECT_TRUE(view0[1].cross);
+  EXPECT_TRUE(DagLedger::AuditView(view0, 0).ok());
+
+  auto view1 = dag.ViewOf(1);
+  EXPECT_EQ(view1.size(), 3u);
+  EXPECT_TRUE(DagLedger::AuditView(view1, 1).ok());
+}
+
+TEST(DagLedgerTest, AuditViewRejectsForeignInternalTxn) {
+  DagLedger dag(2);
+  dag.AppendInternal(0, InternalTxn(1, 0));
+  auto view = dag.ViewOf(0);
+  auto status = DagLedger::AuditView(view, 1);  // wrong enterprise
+  EXPECT_TRUE(status.IsPermissionDenied());
+}
+
+TEST(DagLedgerTest, AuditDetectsTamperedVertex) {
+  DagLedger dag(2);
+  dag.AppendInternal(0, InternalTxn(1, 0));
+  dag.AppendCross(CrossTxn(2));
+  auto view = dag.ViewOf(0);
+  view[0].txn.ops[0].value = "tampered";
+  EXPECT_TRUE(DagLedger::AuditView(view, 0).IsCorruption());
+}
+
+TEST(DagLedgerTest, UnknownEnterpriseRejected) {
+  DagLedger dag(2);
+  EXPECT_FALSE(dag.AppendInternal(5, InternalTxn(1, 5)).ok());
+}
+
+TEST(DagLedgerTest, CountsTrackKinds) {
+  DagLedger dag(2);
+  dag.AppendInternal(0, InternalTxn(1, 0));
+  dag.AppendInternal(1, InternalTxn(2, 1));
+  dag.AppendCross(CrossTxn(3));
+  EXPECT_EQ(dag.num_internal(), 2u);
+  EXPECT_EQ(dag.num_cross(), 1u);
+}
+
+}  // namespace
+}  // namespace pbc::ledger

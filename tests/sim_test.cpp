@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/attested_log.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbc::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.Schedule(10, [&order, i] { order.push_back(i); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(5, [&] {
+    sim.Schedule(5, [&] { fired = 1; });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim(1);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 100) sim.Schedule(10, tick);
+  };
+  sim.Schedule(10, tick);
+  EXPECT_TRUE(sim.RunUntil([&] { return count >= 7; }, 1000000));
+  EXPECT_EQ(count, 7);
+}
+
+TEST(SimulatorTest, RunStopsAtDeadline) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(100, [&] { fired++; });
+  sim.Schedule(200, [&] { fired++; });
+  sim.Run(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150u);
+}
+
+// --- Network ---------------------------------------------------------------
+
+struct PingMsg : Message {
+  int payload = 0;
+  const char* type() const override { return "ping"; }
+};
+
+class EchoNode : public Node {
+ public:
+  EchoNode(NodeId id, Network* net) : Node(id, net) {}
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    last_from = from;
+    received.push_back(
+        std::static_pointer_cast<const PingMsg>(msg)->payload);
+  }
+  NodeId last_from = 9999;
+  std::vector<int> received;
+};
+
+std::shared_ptr<PingMsg> Ping(int v) {
+  auto m = std::make_shared<PingMsg>();
+  m->payload = v;
+  return m;
+}
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({100, 0});
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(42));
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{42});
+  EXPECT_EQ(b.last_from, 0u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(NetworkTest, CrashedNodeReceivesNothing) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net), b(1, &net);
+  net.Crash(1);
+  net.Send(0, 1, Ping(1));
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(NetworkTest, CrashAfterSendBeforeDeliveryDrops) {
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({100, 0});
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(1));
+  sim.Schedule(50, [&] { net.Crash(1); });
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(NetworkTest, RecoveredNodeReceivesAgain) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net), b(1, &net);
+  net.Crash(1);
+  net.Send(0, 1, Ping(1));
+  sim.RunAll();
+  net.Recover(1);
+  net.Send(0, 1, Ping(2));
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{2});
+}
+
+TEST(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net), b(1, &net), c(2, &net);
+  net.Partition({{0, 1}, {2}});
+  net.Send(0, 1, Ping(1));  // same group: delivered
+  net.Send(0, 2, Ping(2));  // cross group: dropped
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{1});
+  EXPECT_TRUE(c.received.empty());
+  net.Heal();
+  net.Send(0, 2, Ping(3));
+  sim.RunAll();
+  EXPECT_EQ(c.received, std::vector<int>{3});
+}
+
+TEST(NetworkTest, DropRateDropsRoughlyThatFraction) {
+  Simulator sim(99);
+  Network net(&sim);
+  net.SetDropRate(0.5);
+  EchoNode a(0, &net), b(1, &net);
+  for (int i = 0; i < 1000; ++i) net.Send(0, 1, Ping(i));
+  sim.RunAll();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), 500.0, 100.0);
+}
+
+TEST(NetworkTest, PerLinkLatencyOverride) {
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({10, 0});
+  net.SetLinkLatency(0, 2, {1000, 0});
+  EchoNode a(0, &net), b(1, &net), c(2, &net);
+  net.Send(0, 1, Ping(1));
+  net.Send(0, 2, Ping(2));
+  sim.Run(100);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+  sim.RunAll();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(NetworkTest, StatsCountTraffic) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net), b(1, &net);
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, Ping(i));
+  sim.RunAll();
+  EXPECT_EQ(net.stats().messages_sent, 10u);
+  EXPECT_EQ(net.stats().messages_delivered, 10u);
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+}
+
+TEST(NetworkTest, TimersSkipCrashedNodes) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net);
+  int fired = 0;
+  a.SetTimer(100, [&] { fired++; });
+  net.Crash(0);
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(&sim);
+    net.SetDefaultLatency({100, 50});
+    EchoNode a(0, &net), b(1, &net);
+    for (int i = 0; i < 50; ++i) net.Send(0, 1, Ping(i));
+    sim.RunAll();
+    return b.received;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+// --- Attested log ----------------------------------------------------------
+
+TEST(AttestedLogTest, AttestAndVerify) {
+  crypto::KeyRegistry registry;
+  AttestedLog log(1, registry.Register(1));
+  auto digest = crypto::Sha256::Digest(std::string("msg"));
+  auto att = log.Attest(5, digest);
+  ASSERT_TRUE(att.ok());
+  EXPECT_TRUE(AttestedLog::Verify(registry, att.ValueOrDie()));
+}
+
+TEST(AttestedLogTest, EquivocationRefused) {
+  crypto::KeyRegistry registry;
+  AttestedLog log(1, registry.Register(1));
+  auto d1 = crypto::Sha256::Digest(std::string("msg-to-alice"));
+  auto d2 = crypto::Sha256::Digest(std::string("msg-to-bob"));
+  ASSERT_TRUE(log.Attest(5, d1).ok());
+  auto second = log.Attest(5, d2);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AttestedLogTest, ReattestSameDigestIdempotent) {
+  crypto::KeyRegistry registry;
+  AttestedLog log(1, registry.Register(1));
+  auto d = crypto::Sha256::Digest(std::string("msg"));
+  ASSERT_TRUE(log.Attest(5, d).ok());
+  EXPECT_TRUE(log.Attest(5, d).ok());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(AttestedLogTest, ForgedAttestationFailsVerification) {
+  crypto::KeyRegistry registry;
+  AttestedLog log(1, registry.Register(1));
+  registry.Register(2);
+  auto att = log.Attest(1, crypto::Sha256::Digest(std::string("m")))
+                 .ValueOrDie();
+  att.log_id = 2;  // claim it came from node 2's TEE
+  EXPECT_FALSE(AttestedLog::Verify(registry, att));
+  auto att2 = log.Attest(2, crypto::Sha256::Digest(std::string("m2")))
+                  .ValueOrDie();
+  att2.sequence = 3;  // replay at a different slot
+  EXPECT_FALSE(AttestedLog::Verify(registry, att2));
+}
+
+}  // namespace
+}  // namespace pbc::sim

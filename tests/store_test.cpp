@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "store/kv_store.h"
+
+namespace pbc::store {
+namespace {
+
+TEST(KvStoreTest, GetMissingKeyIsNotFound) {
+  KvStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  KvStore store;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  ASSERT_TRUE(store.ApplyBatch(batch, 1).ok());
+  auto r = store.Get("a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().value, "1");
+  EXPECT_EQ(r.ValueOrDie().version, 1u);
+}
+
+TEST(KvStoreTest, CommitVersionMustIncrease) {
+  KvStore store;
+  WriteBatch batch;
+  batch.Put("a", "1");
+  ASSERT_TRUE(store.ApplyBatch(batch, 5).ok());
+  EXPECT_FALSE(store.ApplyBatch(batch, 5).ok());
+  EXPECT_FALSE(store.ApplyBatch(batch, 4).ok());
+  EXPECT_TRUE(store.ApplyBatch(batch, 6).ok());
+}
+
+TEST(KvStoreTest, DeleteHidesKeyButBumpsVersion) {
+  KvStore store;
+  WriteBatch put;
+  put.Put("a", "1");
+  store.ApplyBatch(put, 1);
+  WriteBatch del;
+  del.Delete("a");
+  store.ApplyBatch(del, 2);
+  EXPECT_TRUE(store.Get("a").status().IsNotFound());
+  EXPECT_EQ(store.VersionOf("a"), 2u);  // deletes are versioned writes
+}
+
+TEST(KvStoreTest, SnapshotReadsSeeOldVersions) {
+  KvStore store;
+  for (Version v = 1; v <= 5; ++v) {
+    WriteBatch b;
+    b.Put("k", "v" + std::to_string(v));
+    store.ApplyBatch(b, v);
+  }
+  for (Version v = 1; v <= 5; ++v) {
+    auto r = store.GetAt("k", v);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie().value, "v" + std::to_string(v));
+  }
+  EXPECT_TRUE(store.GetAt("k", 0).status().IsNotFound());
+}
+
+TEST(KvStoreTest, SnapshotBeforeCreationIsNotFound) {
+  KvStore store;
+  WriteBatch b;
+  b.Put("late", "x");
+  store.ApplyBatch(b, 10);
+  EXPECT_TRUE(store.GetAt("late", 9).status().IsNotFound());
+  EXPECT_TRUE(store.GetAt("late", 10).ok());
+}
+
+TEST(KvStoreTest, SnapshotSeesThroughLaterDelete) {
+  KvStore store;
+  WriteBatch b1;
+  b1.Put("k", "v");
+  store.ApplyBatch(b1, 1);
+  WriteBatch b2;
+  b2.Delete("k");
+  store.ApplyBatch(b2, 2);
+  EXPECT_TRUE(store.GetAt("k", 1).ok());
+  EXPECT_TRUE(store.GetAt("k", 2).status().IsNotFound());
+}
+
+TEST(KvStoreTest, ValidateReadSetDetectsStaleReads) {
+  KvStore store;
+  WriteBatch b1;
+  b1.Put("k", "v1");
+  store.ApplyBatch(b1, 1);
+
+  std::vector<ReadAccess> reads = {{"k", 1}};
+  EXPECT_TRUE(store.ValidateReadSet(reads));
+
+  WriteBatch b2;
+  b2.Put("k", "v2");
+  store.ApplyBatch(b2, 2);
+  EXPECT_FALSE(store.ValidateReadSet(reads));  // Fabric MVCC check fails
+}
+
+TEST(KvStoreTest, ValidateReadSetOfNeverWrittenKey) {
+  KvStore store;
+  std::vector<ReadAccess> reads = {{"ghost", kNeverWritten}};
+  EXPECT_TRUE(store.ValidateReadSet(reads));
+  WriteBatch b;
+  b.Put("ghost", "now exists");
+  store.ApplyBatch(b, 1);
+  EXPECT_FALSE(store.ValidateReadSet(reads));
+}
+
+TEST(KvStoreTest, LastWriterWinsWithinBatch) {
+  KvStore store;
+  WriteBatch b;
+  b.Put("k", "first");
+  b.Put("k", "second");
+  store.ApplyBatch(b, 1);
+  EXPECT_EQ(store.Get("k").ValueOrDie().value, "second");
+}
+
+TEST(KvStoreTest, SameLatestStateIgnoresHistory) {
+  KvStore a, b;
+  WriteBatch w1;
+  w1.Put("k", "v");
+  a.ApplyBatch(w1, 1);
+  // b reaches the same state via a different history.
+  WriteBatch w2;
+  w2.Put("k", "other");
+  b.ApplyBatch(w2, 1);
+  WriteBatch w3;
+  w3.Put("k", "v");
+  b.ApplyBatch(w3, 2);
+  EXPECT_TRUE(a.SameLatestState(b));
+}
+
+TEST(KvStoreTest, SameLatestStateDetectsDivergence) {
+  KvStore a, b;
+  WriteBatch w;
+  w.Put("k", "v1");
+  a.ApplyBatch(w, 1);
+  WriteBatch w2;
+  w2.Put("k", "v2");
+  b.ApplyBatch(w2, 1);
+  EXPECT_FALSE(a.SameLatestState(b));
+}
+
+TEST(KvStoreTest, ForEachLatestVisitsLiveKeysInOrder) {
+  KvStore store;
+  WriteBatch b;
+  b.Put("b", "2");
+  b.Put("a", "1");
+  b.Put("c", "3");
+  store.ApplyBatch(b, 1);
+  WriteBatch d;
+  d.Delete("b");
+  store.ApplyBatch(d, 2);
+  std::vector<Key> keys;
+  store.ForEachLatest([&](const Key& k, const VersionedValue&) {
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<Key>{"a", "c"}));
+}
+
+// --- LockTable --------------------------------------------------------------
+
+TEST(LockTableTest, SharedLocksCoexist) {
+  LockTable lt;
+  EXPECT_TRUE(lt.LockShared("k", 1).ok());
+  EXPECT_TRUE(lt.LockShared("k", 2).ok());
+  EXPECT_TRUE(lt.IsLocked("k"));
+}
+
+TEST(LockTableTest, ExclusiveExcludesAll) {
+  LockTable lt;
+  ASSERT_TRUE(lt.LockExclusive("k", 1).ok());
+  EXPECT_TRUE(lt.LockShared("k", 2).IsConflict());
+  EXPECT_TRUE(lt.LockExclusive("k", 2).IsConflict());
+}
+
+TEST(LockTableTest, SharedBlocksExclusiveFromOther) {
+  LockTable lt;
+  ASSERT_TRUE(lt.LockShared("k", 1).ok());
+  EXPECT_TRUE(lt.LockExclusive("k", 2).IsConflict());
+}
+
+TEST(LockTableTest, UpgradeWhenSoleHolder) {
+  LockTable lt;
+  ASSERT_TRUE(lt.LockShared("k", 1).ok());
+  EXPECT_TRUE(lt.LockExclusive("k", 1).ok());
+  EXPECT_TRUE(lt.LockShared("k", 2).IsConflict());
+}
+
+TEST(LockTableTest, UpgradeDeniedWithTwoSharers) {
+  LockTable lt;
+  ASSERT_TRUE(lt.LockShared("k", 1).ok());
+  ASSERT_TRUE(lt.LockShared("k", 2).ok());
+  EXPECT_TRUE(lt.LockExclusive("k", 1).IsConflict());
+}
+
+TEST(LockTableTest, UnlockAllReleasesEverything) {
+  LockTable lt;
+  lt.LockExclusive("a", 1);
+  lt.LockShared("b", 1);
+  lt.LockShared("b", 2);
+  lt.UnlockAll(1);
+  EXPECT_FALSE(lt.IsLocked("a"));
+  EXPECT_TRUE(lt.IsLocked("b"));  // txn 2 still holds b
+  EXPECT_TRUE(lt.LockExclusive("a", 3).ok());
+}
+
+TEST(LockTableTest, ReentrantAcquisitionIsIdempotent) {
+  LockTable lt;
+  ASSERT_TRUE(lt.LockShared("k", 1).ok());
+  ASSERT_TRUE(lt.LockShared("k", 1).ok());
+  lt.UnlockAll(1);
+  EXPECT_FALSE(lt.IsLocked("k"));
+}
+
+}  // namespace
+}  // namespace pbc::store

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "txn/dependency_graph.h"
+#include "txn/executor.h"
+#include "txn/transaction.h"
+
+namespace pbc::txn {
+namespace {
+
+Transaction MakeTxn(TxnId id, std::vector<Op> ops) {
+  Transaction t;
+  t.id = id;
+  t.ops = std::move(ops);
+  return t;
+}
+
+TEST(TransactionTest, DeclaredAccessSets) {
+  Transaction t = MakeTxn(1, {Op::Read("r"), Op::Write("w", "v"),
+                              Op::Increment("i", 1),
+                              Op::Transfer("src", "dst", 5)});
+  auto reads = t.DeclaredReads();
+  auto writes = t.DeclaredWrites();
+  EXPECT_EQ(reads, (std::vector<store::Key>{"dst", "i", "r", "src"}));
+  EXPECT_EQ(writes, (std::vector<store::Key>{"dst", "i", "src", "w"}));
+}
+
+TEST(TransactionTest, ComputeOpHasNoDataAccess) {
+  Transaction t = MakeTxn(1, {Op::Compute(10)});
+  EXPECT_TRUE(t.DeclaredReads().empty());
+  EXPECT_TRUE(t.DeclaredWrites().empty());
+}
+
+TEST(TransactionTest, DigestSensitiveToContent) {
+  Transaction a = MakeTxn(1, {Op::Write("k", "v")});
+  Transaction b = MakeTxn(1, {Op::Write("k", "w")});
+  Transaction c = MakeTxn(2, {Op::Write("k", "v")});
+  EXPECT_NE(a.Digest(), b.Digest());
+  EXPECT_NE(a.Digest(), c.Digest());
+  EXPECT_EQ(a.Digest(), MakeTxn(1, {Op::Write("k", "v")}).Digest());
+}
+
+TEST(ExecuteTest, WriteProducesWriteSet) {
+  store::KvStore store;
+  auto r = Execute(MakeTxn(1, {Op::Write("k", "v")}), LatestReader(&store));
+  ASSERT_EQ(r.writes.size(), 1u);
+  EXPECT_EQ(r.writes.writes()[0].key, "k");
+  EXPECT_EQ(r.writes.writes()[0].value, "v");
+  EXPECT_TRUE(r.reads.empty());
+}
+
+TEST(ExecuteTest, ReadRecordsObservedVersion) {
+  store::KvStore store;
+  store::WriteBatch b;
+  b.Put("k", "v");
+  store.ApplyBatch(b, 7);
+  auto r = Execute(MakeTxn(1, {Op::Read("k"), Op::Read("missing")}),
+                   LatestReader(&store));
+  ASSERT_EQ(r.reads.size(), 2u);
+  EXPECT_EQ(r.reads[0].version, 7u);
+  EXPECT_EQ(r.reads[1].version, store::kNeverWritten);
+}
+
+TEST(ExecuteTest, IncrementReadsModifiesWrites) {
+  store::KvStore store;
+  store::WriteBatch b;
+  b.Put("ctr", EncodeInt(10));
+  store.ApplyBatch(b, 1);
+  auto r = Execute(MakeTxn(1, {Op::Increment("ctr", 5)}),
+                   LatestReader(&store));
+  ASSERT_EQ(r.writes.size(), 1u);
+  EXPECT_EQ(DecodeInt(r.writes.writes()[0].value), 15);
+  ASSERT_EQ(r.reads.size(), 1u);
+}
+
+TEST(ExecuteTest, IncrementOfMissingKeyStartsAtZero) {
+  store::KvStore store;
+  auto r = Execute(MakeTxn(1, {Op::Increment("new", 3)}),
+                   LatestReader(&store));
+  EXPECT_EQ(DecodeInt(r.writes.writes()[0].value), 3);
+}
+
+TEST(ExecuteTest, GuardedTransferMovesFundsWhenSufficient) {
+  store::KvStore store;
+  store::WriteBatch b;
+  b.Put("alice", EncodeInt(100));
+  store.ApplyBatch(b, 1);
+  auto r = Execute(MakeTxn(1, {Op::Transfer("alice", "bob", 30)}),
+                   LatestReader(&store));
+  ASSERT_EQ(r.writes.size(), 2u);
+  store.ApplyBatch(r.writes, 2);
+  EXPECT_EQ(DecodeInt(store.Get("alice").ValueOrDie().value), 70);
+  EXPECT_EQ(DecodeInt(store.Get("bob").ValueOrDie().value), 30);
+}
+
+TEST(ExecuteTest, GuardedTransferNoOpWhenInsufficient) {
+  store::KvStore store;
+  store::WriteBatch b;
+  b.Put("alice", EncodeInt(10));
+  store.ApplyBatch(b, 1);
+  auto r = Execute(MakeTxn(1, {Op::Transfer("alice", "bob", 30)}),
+                   LatestReader(&store));
+  EXPECT_TRUE(r.writes.empty());
+  EXPECT_EQ(r.reads.size(), 2u);  // reads still recorded
+}
+
+TEST(ExecuteTest, ReadYourOwnWrites) {
+  store::KvStore store;
+  auto r = Execute(MakeTxn(1, {Op::Write("k", EncodeInt(5)),
+                               Op::Increment("k", 1)}),
+                   LatestReader(&store));
+  // Increment sees the in-transaction write of 5, producing 6.
+  bool found = false;
+  for (const auto& w : r.writes.writes()) {
+    if (w.key == "k") {
+      EXPECT_EQ(DecodeInt(w.value), 6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(r.writes.size(), 1u);  // deduplicated
+}
+
+TEST(ExecuteTest, ComputeBurnsRounds) {
+  store::KvStore store;
+  auto r = Execute(MakeTxn(1, {Op::Compute(100)}), LatestReader(&store));
+  EXPECT_GE(r.compute_rounds, 100);
+  EXPECT_TRUE(r.writes.empty());
+}
+
+TEST(ExecuteTest, SnapshotReaderIgnoresLaterWrites) {
+  store::KvStore store;
+  store::WriteBatch b1;
+  b1.Put("k", "old");
+  store.ApplyBatch(b1, 1);
+  store::WriteBatch b2;
+  b2.Put("k", "new");
+  store.ApplyBatch(b2, 2);
+  auto r = Execute(MakeTxn(1, {Op::Read("k"), Op::Increment("mirror", 0)}),
+                   SnapshotReader(&store, 1));
+  EXPECT_EQ(r.reads[0].version, 1u);
+}
+
+// --- DependencyGraph --------------------------------------------------------
+
+TEST(DependencyGraphTest, NoConflictsNoEdges) {
+  std::vector<Transaction> txns = {
+      MakeTxn(1, {Op::Write("a", "1")}),
+      MakeTxn(2, {Op::Write("b", "2")}),
+      MakeTxn(3, {Op::Read("c")}),
+  };
+  auto g = DependencyGraph::Build(txns);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Levels().size(), 1u);
+  EXPECT_EQ(g.Levels()[0].size(), 3u);
+}
+
+TEST(DependencyGraphTest, WriteReadConflictMakesEdge) {
+  std::vector<Transaction> txns = {
+      MakeTxn(1, {Op::Write("k", "1")}),
+      MakeTxn(2, {Op::Read("k")}),
+  };
+  auto g = DependencyGraph::Build(txns);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Successors(0), std::vector<size_t>{1});
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(DependencyGraphTest, ReadReadIsNotConflict) {
+  std::vector<Transaction> txns = {
+      MakeTxn(1, {Op::Read("k")}),
+      MakeTxn(2, {Op::Read("k")}),
+  };
+  EXPECT_EQ(DependencyGraph::Build(txns).num_edges(), 0u);
+}
+
+TEST(DependencyGraphTest, WriteWriteConflict) {
+  std::vector<Transaction> txns = {
+      MakeTxn(1, {Op::Write("k", "1")}),
+      MakeTxn(2, {Op::Write("k", "2")}),
+  };
+  EXPECT_EQ(DependencyGraph::Build(txns).num_edges(), 1u);
+}
+
+TEST(DependencyGraphTest, ChainOfIncrementsFullySerializes) {
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 5; ++i) {
+    txns.push_back(MakeTxn(i, {Op::Increment("hot", 1)}));
+  }
+  auto g = DependencyGraph::Build(txns);
+  EXPECT_EQ(g.Levels().size(), 5u);
+  EXPECT_EQ(g.CriticalPathLength(), 5u);
+}
+
+TEST(DependencyGraphTest, LevelsRespectDependencies) {
+  // t0 writes a; t1 reads a, writes b; t2 reads b; t3 independent.
+  std::vector<Transaction> txns = {
+      MakeTxn(0, {Op::Write("a", "1")}),
+      MakeTxn(1, {Op::Read("a"), Op::Write("b", "2")}),
+      MakeTxn(2, {Op::Read("b")}),
+      MakeTxn(3, {Op::Write("z", "9")}),
+  };
+  auto levels = DependencyGraph::Build(txns).Levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(levels[1], std::vector<size_t>{1});
+  EXPECT_EQ(levels[2], std::vector<size_t>{2});
+}
+
+// --- Executors ---------------------------------------------------------------
+
+std::vector<Transaction> MixedBlock() {
+  std::vector<Transaction> txns;
+  // Independent increments on 8 keys plus a conflicting chain on "hot".
+  for (int i = 0; i < 8; ++i) {
+    txns.push_back(
+        MakeTxn(i, {Op::Increment("key" + std::to_string(i), i + 1)}));
+  }
+  for (int i = 0; i < 4; ++i) {
+    txns.push_back(MakeTxn(100 + i, {Op::Increment("hot", 1)}));
+  }
+  txns.push_back(MakeTxn(200, {Op::Transfer("key0", "key1", 1)}));
+  return txns;
+}
+
+TEST(ExecutorTest, SerialAndDagProduceIdenticalState) {
+  auto txns = MixedBlock();
+  store::KvStore serial_store, dag_store;
+  store::WriteBatch init;
+  init.Put("key0", EncodeInt(100));
+  serial_store.ApplyBatch(init, 1);
+  dag_store.ApplyBatch(init, 1);
+
+  ExecuteSerial(txns, &serial_store);
+
+  ThreadPool pool(4);
+  auto graph = DependencyGraph::Build(txns);
+  ExecuteDag(txns, graph, &pool, &dag_store);
+
+  EXPECT_TRUE(serial_store.SameLatestState(dag_store));
+  EXPECT_EQ(DecodeInt(dag_store.Get("hot").ValueOrDie().value), 4);
+}
+
+TEST(ExecutorTest, DagUsesFewerLevelsThanTxns) {
+  auto txns = MixedBlock();
+  auto graph = DependencyGraph::Build(txns);
+  ThreadPool pool(4);
+  store::KvStore store;
+  auto stats = ExecuteDag(txns, graph, &pool, &store);
+  EXPECT_EQ(stats.executed, txns.size());
+  EXPECT_LT(stats.levels, txns.size());
+}
+
+TEST(ExecutorTest, SerialStatsCountEverything) {
+  auto txns = MixedBlock();
+  store::KvStore store;
+  auto stats = ExecuteSerial(txns, &store);
+  EXPECT_EQ(stats.executed, txns.size());
+}
+
+TEST(ExecutorTest, EmptyBlockIsFine) {
+  store::KvStore store;
+  ThreadPool pool(2);
+  std::vector<Transaction> empty;
+  auto graph = DependencyGraph::Build(empty);
+  EXPECT_EQ(ExecuteSerial(empty, &store).executed, 0u);
+  EXPECT_EQ(ExecuteDag(empty, graph, &pool, &store).executed, 0u);
+}
+
+// Property: for random blocks, DAG execution always matches serial.
+class DagEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DagEquivalenceTest, MatchesSerialOnRandomBlocks) {
+  Rng rng(GetParam());
+  std::vector<Transaction> txns;
+  const int kKeys = 12;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Op> ops;
+    int nops = 1 + rng.NextU64(3);
+    for (int j = 0; j < nops; ++j) {
+      std::string k = "k" + std::to_string(rng.NextU64(kKeys));
+      switch (rng.NextU64(4)) {
+        case 0:
+          ops.push_back(Op::Read(k));
+          break;
+        case 1:
+          ops.push_back(Op::Write(k, EncodeInt(rng.NextU64(100))));
+          break;
+        case 2:
+          ops.push_back(Op::Increment(k, 1 + rng.NextU64(5)));
+          break;
+        default:
+          ops.push_back(Op::Transfer(
+              k, "k" + std::to_string(rng.NextU64(kKeys)), rng.NextU64(50)));
+      }
+    }
+    txns.push_back(MakeTxn(i, std::move(ops)));
+  }
+
+  store::KvStore s1, s2;
+  store::WriteBatch init;
+  for (int i = 0; i < kKeys; ++i) {
+    init.Put("k" + std::to_string(i), EncodeInt(50));
+  }
+  s1.ApplyBatch(init, 1);
+  s2.ApplyBatch(init, 1);
+
+  ExecuteSerial(txns, &s1);
+  ThreadPool pool(4);
+  ExecuteDag(txns, DependencyGraph::Build(txns), &pool, &s2);
+  EXPECT_TRUE(s1.SameLatestState(s2)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagEquivalenceTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+}  // namespace
+}  // namespace pbc::txn

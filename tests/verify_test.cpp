@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "verify/crowdwork.h"
+#include "verify/tokens.h"
+#include "verify/zkp.h"
+
+namespace pbc::verify {
+namespace {
+
+// --- Opening proofs ---------------------------------------------------------
+
+TEST(OpeningProofTest, HonestProofVerifies) {
+  Rng rng(1);
+  Scalar m(1234), r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(m, r);
+  auto proof = ProveOpening(c, m, r, &rng);
+  EXPECT_TRUE(VerifyOpening(c, proof));
+}
+
+TEST(OpeningProofTest, WrongCommitmentFails) {
+  Rng rng(2);
+  Scalar m(5), r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(m, r);
+  auto proof = ProveOpening(c, m, r, &rng);
+  auto other = crypto::PedersenCommit(Scalar(6), r);
+  EXPECT_FALSE(VerifyOpening(other, proof));
+}
+
+TEST(OpeningProofTest, MutatedProofFails) {
+  Rng rng(3);
+  Scalar m(5), r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(m, r);
+  auto proof = ProveOpening(c, m, r, &rng);
+  auto bad = proof;
+  bad.z_m = bad.z_m + Scalar(1);
+  EXPECT_FALSE(VerifyOpening(c, bad));
+  bad = proof;
+  bad.z_r = bad.z_r + Scalar(1);
+  EXPECT_FALSE(VerifyOpening(c, bad));
+  bad = proof;
+  bad.t = bad.t * GroupElement::G();
+  EXPECT_FALSE(VerifyOpening(c, bad));
+}
+
+TEST(ZeroProofTest, ZeroCommitmentVerifies) {
+  Rng rng(4);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(0), r);
+  EXPECT_TRUE(VerifyZero(c, ProveZero(c, r, &rng)));
+}
+
+TEST(ZeroProofTest, NonZeroCommitmentCannotProveZero) {
+  Rng rng(5);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(1), r);
+  // A cheating prover running the zero-protocol on a non-zero commitment.
+  EXPECT_FALSE(VerifyZero(c, ProveZero(c, r, &rng)));
+}
+
+// --- Bit and range proofs -----------------------------------------------------
+
+TEST(BitProofTest, BothBitValuesProve) {
+  Rng rng(6);
+  for (uint64_t bit : {0u, 1u}) {
+    Scalar r = Scalar::Random(&rng);
+    auto c = crypto::PedersenCommit(Scalar(bit), r);
+    auto proof = ProveBit(c, bit, r, &rng);
+    EXPECT_TRUE(VerifyBit(c, proof)) << "bit=" << bit;
+  }
+}
+
+TEST(BitProofTest, NonBitValueCannotProve) {
+  Rng rng(7);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(2), r);
+  // Cheat both ways; neither verifies.
+  EXPECT_FALSE(VerifyBit(c, ProveBit(c, 0, r, &rng)));
+  EXPECT_FALSE(VerifyBit(c, ProveBit(c, 1, r, &rng)));
+}
+
+TEST(BitProofTest, MutationFails) {
+  Rng rng(8);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(1), r);
+  auto proof = ProveBit(c, 1, r, &rng);
+  auto bad = proof;
+  bad.c0 = bad.c0 + Scalar(1);
+  EXPECT_FALSE(VerifyBit(c, bad));
+  bad = proof;
+  bad.z1 = bad.z1 + Scalar(1);
+  EXPECT_FALSE(VerifyBit(c, bad));
+}
+
+class RangeProofTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeProofTest, InRangeValuesProve) {
+  Rng rng(GetParam() + 100);
+  uint64_t value = GetParam();
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(value), r);
+  auto proof = ProveRange(c, value, r, 8, &rng);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyRange(c, proof.ValueOrDie()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RangeProofTest,
+                         ::testing::Values(0, 1, 2, 7, 128, 200, 255));
+
+TEST(RangeProofTest2, OutOfRangeRejectedAtProving) {
+  Rng rng(9);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(256), r);
+  EXPECT_FALSE(ProveRange(c, 256, r, 8, &rng).ok());
+}
+
+TEST(RangeProofTest2, ProofForDifferentCommitmentFails) {
+  Rng rng(10);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(5), r);
+  auto proof = ProveRange(c, 5, r, 8, &rng).ValueOrDie();
+  auto other = crypto::PedersenCommit(Scalar(5), Scalar::Random(&rng));
+  EXPECT_FALSE(VerifyRange(other, proof));
+}
+
+TEST(RangeProofTest2, TamperedBitCommitmentFails) {
+  Rng rng(11);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(5), r);
+  auto proof = ProveRange(c, 5, r, 8, &rng).ValueOrDie();
+  proof.bit_commitments[3].c = proof.bit_commitments[3].c * GroupElement::G();
+  EXPECT_FALSE(VerifyRange(c, proof));
+}
+
+TEST(RangeProofTest2, WidthLimits) {
+  Rng rng(12);
+  Scalar r = Scalar::Random(&rng);
+  auto c = crypto::PedersenCommit(Scalar(1), r);
+  EXPECT_FALSE(ProveRange(c, 1, r, 0, &rng).ok());
+  EXPECT_FALSE(ProveRange(c, 1, r, 33, &rng).ok());
+  EXPECT_TRUE(ProveRange(c, 1, r, 32, &rng).ok());
+}
+
+// --- Confidential transfers ------------------------------------------------
+
+TEST(TransferTest, HonestTransferVerifiesAndApplies) {
+  Rng rng(20);
+  Note input{100, Scalar::Random(&rng), rng.NextU64()};
+  ConfidentialLedger ledger;
+  ledger.Mint(input.Commit());
+
+  Note pay, change;
+  auto t = MakeTransfer(input, 30, 8, &rng, &pay, &change);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(VerifyTransfer(t.ValueOrDie()));
+  ASSERT_TRUE(ledger.Apply(t.ValueOrDie()).ok());
+  EXPECT_EQ(pay.amount, 30u);
+  EXPECT_EQ(change.amount, 70u);
+  EXPECT_TRUE(ledger.Contains(pay.Commit()));
+  EXPECT_TRUE(ledger.Contains(change.Commit()));
+}
+
+TEST(TransferTest, DoubleSpendRejected) {
+  Rng rng(21);
+  Note input{100, Scalar::Random(&rng), rng.NextU64()};
+  ConfidentialLedger ledger;
+  ledger.Mint(input.Commit());
+
+  Note p1, c1, p2, c2;
+  auto t1 = MakeTransfer(input, 30, 8, &rng, &p1, &c1).ValueOrDie();
+  auto t2 = MakeTransfer(input, 50, 8, &rng, &p2, &c2).ValueOrDie();
+  ASSERT_TRUE(ledger.Apply(t1).ok());
+  EXPECT_TRUE(ledger.Apply(t2).IsConflict());  // same nullifier
+}
+
+TEST(TransferTest, OverspendImpossible) {
+  Rng rng(22);
+  Note input{10, Scalar::Random(&rng), rng.NextU64()};
+  Note pay, change;
+  EXPECT_FALSE(MakeTransfer(input, 11, 8, &rng, &pay, &change).ok());
+}
+
+TEST(TransferTest, MassConservationViolationDetected) {
+  Rng rng(23);
+  Note input{100, Scalar::Random(&rng), rng.NextU64()};
+  Note pay, change;
+  auto t = MakeTransfer(input, 30, 8, &rng, &pay, &change).ValueOrDie();
+  // Attacker inflates the payment output (keeping a valid-looking proof is
+  // impossible; even replacing the commitment breaks the homomorphic sum).
+  t.output_pay = crypto::PedersenCommit(Scalar(90), pay.blinding);
+  EXPECT_FALSE(VerifyTransfer(t));
+}
+
+TEST(TransferTest, UnknownInputRejected) {
+  Rng rng(24);
+  Note input{100, Scalar::Random(&rng), rng.NextU64()};
+  ConfidentialLedger ledger;  // never minted
+  Note pay, change;
+  auto t = MakeTransfer(input, 5, 8, &rng, &pay, &change).ValueOrDie();
+  EXPECT_TRUE(t.nullifier == input.Nullifier());
+  EXPECT_EQ(ledger.Apply(t).code(), StatusCode::kNotFound);
+}
+
+TEST(TransferTest, ChainOfTransfers) {
+  Rng rng(25);
+  Note note{64, Scalar::Random(&rng), rng.NextU64()};
+  ConfidentialLedger ledger;
+  ledger.Mint(note.Commit());
+  // Spend the change repeatedly: 64 → 32 → 16 → 8.
+  for (int i = 0; i < 3; ++i) {
+    Note pay, change;
+    auto t = MakeTransfer(note, note.amount / 2, 8, &rng, &pay, &change);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(ledger.Apply(t.ValueOrDie()).ok());
+    note = change;
+  }
+  EXPECT_EQ(note.amount, 8u);
+  EXPECT_EQ(ledger.num_spent(), 3u);
+}
+
+// --- Tokens (Separ) -----------------------------------------------------------
+
+struct TokenWorld {
+  TokenWorld() : authority(1, &registry), log(&registry, 1) {}
+  crypto::KeyRegistry registry;
+  TokenAuthority authority;
+  SpendLog log;
+  Rng rng{42};
+};
+
+TEST(TokenTest, MintedTokensSpendOnce) {
+  TokenWorld w;
+  auto tokens = w.authority.Mint(/*constraint=*/1, /*period=*/10, 5, &w.rng);
+  ASSERT_EQ(tokens.size(), 5u);
+  for (const auto& t : tokens) EXPECT_TRUE(w.log.Spend(t).ok());
+  for (const auto& t : tokens) EXPECT_TRUE(w.log.Spend(t).IsConflict());
+  EXPECT_EQ(w.log.num_spent(), 5u);
+}
+
+TEST(TokenTest, ForgedTokenRejected) {
+  TokenWorld w;
+  crypto::KeyRegistry other_registry;
+  other_registry.Register(99);  // desynchronize key derivation
+  TokenAuthority imposter(1, &other_registry);  // same id, different key
+  auto forged = imposter.Mint(1, 10, 1, &w.rng);
+  EXPECT_TRUE(w.log.Spend(forged[0]).IsCorruption());
+}
+
+TEST(TokenTest, TamperedTokenRejected) {
+  TokenWorld w;
+  auto tokens = w.authority.Mint(1, 10, 1, &w.rng);
+  tokens[0].period = 11;  // move the token to another week
+  EXPECT_TRUE(w.log.Spend(tokens[0]).IsCorruption());
+}
+
+TEST(TokenTest, WalletEnforcesBudget) {
+  TokenWorld w;
+  TokenWallet wallet;
+  wallet.Deposit(w.authority.Mint(1, 10, 40, &w.rng));
+  for (int hour = 0; hour < 40; ++hour) {
+    auto token = wallet.Take();
+    ASSERT_TRUE(token.ok());
+    ASSERT_TRUE(w.log.Spend(token.ValueOrDie()).ok());
+  }
+  // Hour 41: the budget (FLSA cap) is exhausted.
+  EXPECT_TRUE(wallet.Take().status().IsNotFound());
+}
+
+TEST(TokenTest, SerialsAreUnlinkable) {
+  TokenWorld w;
+  auto alice = w.authority.Mint(1, 10, 3, &w.rng);
+  auto bob = w.authority.Mint(1, 10, 3, &w.rng);
+  // Nothing in the token identifies the holder; all serials distinct.
+  std::set<crypto::Hash256> serials;
+  for (const auto& t : alice) serials.insert(t.serial);
+  for (const auto& t : bob) serials.insert(t.serial);
+  EXPECT_EQ(serials.size(), 6u);
+}
+
+// --- Crowdworking hour caps -----------------------------------------------
+
+TEST(CrowdworkTest, ZkClaimsUpToCapVerify) {
+  Rng rng(30);
+  ZkHourTracker worker(7, /*cap=*/40, &rng);
+  ZkHourVerifier platform_a(40), platform_b(40);
+  auto reg = worker.Register(&rng);
+  ASSERT_TRUE(platform_a.Register(reg).ok());
+  ASSERT_TRUE(platform_b.Register(reg).ok());
+
+  // 5 claims of 8 hours across two platforms: exactly 40.
+  for (int i = 0; i < 5; ++i) {
+    auto claim = worker.Claim(8, &rng);
+    ASSERT_TRUE(claim.ok()) << i;
+    // Both platforms replicate the shared ledger and verify every claim.
+    ASSERT_TRUE(platform_a.Accept(claim.ValueOrDie()).ok()) << i;
+    ASSERT_TRUE(platform_b.Accept(claim.ValueOrDie()).ok()) << i;
+  }
+  EXPECT_EQ(worker.total(), 40u);
+  // Hour 41 cannot be claimed.
+  EXPECT_FALSE(worker.Claim(1, &rng).ok());
+}
+
+TEST(CrowdworkTest, UnregisteredWorkerRejected) {
+  Rng rng(31);
+  ZkHourTracker worker(7, 40, &rng);
+  ZkHourVerifier platform(40);
+  auto claim = worker.Claim(8, &rng).ValueOrDie();
+  EXPECT_TRUE(platform.Accept(claim).IsPermissionDenied());
+}
+
+TEST(CrowdworkTest, UnderreportingHoursDetected) {
+  Rng rng(32);
+  ZkHourTracker worker(7, 40, &rng);
+  ZkHourVerifier platform(40);
+  ASSERT_TRUE(platform.Register(worker.Register(&rng)).ok());
+  auto claim = worker.Claim(8, &rng).ValueOrDie();
+  claim.hours = 4;  // lie: "only 4 hours" while the commitment says 8
+  EXPECT_TRUE(platform.Accept(claim).IsCorruption());
+}
+
+TEST(CrowdworkTest, ReplayedCommitmentDetected) {
+  Rng rng(33);
+  ZkHourTracker worker(7, 40, &rng);
+  ZkHourVerifier platform(40);
+  ASSERT_TRUE(platform.Register(worker.Register(&rng)).ok());
+  auto c1 = worker.Claim(8, &rng).ValueOrDie();
+  ASSERT_TRUE(platform.Accept(c1).ok());
+  // Replaying the same claim: the tip moved, accounting check fails.
+  EXPECT_TRUE(platform.Accept(c1).IsCorruption());
+}
+
+TEST(CrowdworkTest, NonZeroRegistrationRejected) {
+  Rng rng(34);
+  ZkHourTracker worker(7, 40, &rng);
+  ZkHourVerifier platform(40);
+  auto reg = worker.Register(&rng);
+  // Attacker swaps in a commitment to -10 "hours" (i.e. headroom 50).
+  reg.zero_total = crypto::PedersenCommit(Scalar(0) - Scalar(10), Scalar(3));
+  EXPECT_TRUE(platform.Register(reg).IsCorruption());
+}
+
+TEST(CrowdworkTest, TwoWorkersIndependent) {
+  Rng rng(35);
+  ZkHourTracker alice(1, 40, &rng), bob(2, 40, &rng);
+  ZkHourVerifier platform(40);
+  ASSERT_TRUE(platform.Register(alice.Register(&rng)).ok());
+  ASSERT_TRUE(platform.Register(bob.Register(&rng)).ok());
+  ASSERT_TRUE(platform.Accept(alice.Claim(40, &rng).ValueOrDie()).ok());
+  // Alice is at cap; Bob is unaffected.
+  ASSERT_TRUE(platform.Accept(bob.Claim(10, &rng).ValueOrDie()).ok());
+  EXPECT_FALSE(alice.Claim(1, &rng).ok());
+}
+
+}  // namespace
+}  // namespace pbc::verify

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "confidential/caper.h"
+#include "shard/common.h"
+#include "workload/workload.h"
+
+namespace pbc::workload {
+namespace {
+
+TEST(ZipfianKvTest, NoContentionMeansDisjointishKeys) {
+  ZipfianKv::Options opt;
+  opt.hot_probability = 0.0;
+  opt.cold_keys = 100000;
+  ZipfianKv gen(opt, 1);
+  auto block = gen.Block(50);
+  EXPECT_EQ(block.size(), 50u);
+  std::set<store::Key> keys;
+  size_t total = 0;
+  for (const auto& t : block) {
+    for (const auto& k : t.DeclaredWrites()) {
+      keys.insert(k);
+      ++total;
+    }
+  }
+  // With 100k cold keys, 100 draws rarely collide.
+  EXPECT_GT(keys.size(), total * 9 / 10);
+}
+
+TEST(ZipfianKvTest, FullContentionHitsHotKeys) {
+  ZipfianKv::Options opt;
+  opt.hot_probability = 1.0;
+  opt.hot_keys = 2;
+  ZipfianKv gen(opt, 1);
+  auto block = gen.Block(20);
+  for (const auto& t : block) {
+    for (const auto& k : t.DeclaredWrites()) {
+      EXPECT_TRUE(k.rfind("hot", 0) == 0) << k;
+    }
+  }
+}
+
+TEST(ZipfianKvTest, ComputeRoundsAttached) {
+  ZipfianKv::Options opt;
+  opt.compute_rounds = 50;
+  ZipfianKv gen(opt, 1);
+  auto t = gen.Next();
+  bool has_compute = false;
+  for (const auto& op : t.ops) {
+    if (op.code == txn::OpCode::kCompute) {
+      has_compute = true;
+      EXPECT_EQ(op.delta, 50);
+    }
+  }
+  EXPECT_TRUE(has_compute);
+}
+
+TEST(ZipfianKvTest, DeterministicFromSeed) {
+  ZipfianKv::Options opt;
+  opt.hot_probability = 0.3;
+  ZipfianKv a(opt, 7), b(opt, 7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Next().Digest(), b.Next().Digest());
+  }
+}
+
+TEST(SmallBankTest, DepositsSumToExpectedTotal) {
+  SmallBank bank(10, 100, 1);
+  auto deposits = bank.InitialDeposits();
+  EXPECT_EQ(deposits.size(), 10u);
+  int64_t total = 0;
+  for (const auto& t : deposits) total += t.ops[0].delta;
+  EXPECT_EQ(total, bank.expected_total());
+}
+
+TEST(SmallBankTest, TransfersNeverSelfTransfer) {
+  SmallBank bank(3, 100, 2);
+  for (int i = 0; i < 100; ++i) {
+    auto t = bank.NextTransfer();
+    ASSERT_EQ(t.ops.size(), 1u);
+    EXPECT_NE(t.ops[0].key, t.ops[0].key2);
+  }
+}
+
+TEST(SupplyChainTest, MixMatchesFraction) {
+  SupplyChain chain(4, 0.25, 3);
+  int cross = 0;
+  const int kSteps = 2000;
+  for (int i = 0; i < kSteps; ++i) {
+    if (chain.Next().cross) ++cross;
+  }
+  EXPECT_NEAR(static_cast<double>(cross) / kSteps, 0.25, 0.05);
+}
+
+TEST(SupplyChainTest, InternalStepsStayInNamespace) {
+  SupplyChain chain(4, 0.0, 3);
+  for (int i = 0; i < 50; ++i) {
+    auto step = chain.Next();
+    ASSERT_FALSE(step.cross);
+    for (const auto& k : step.txn.DeclaredWrites()) {
+      EXPECT_TRUE(pbc::confidential::CaperSystem::IsPrivateKeyOf(
+          k, step.enterprise))
+          << k;
+    }
+  }
+}
+
+TEST(ShardedTransfersTest, CrossFractionRespected) {
+  ShardedTransfers gen(4, 100, 1000, 0.3, 5);
+  int cross = 0;
+  const int kTxns = 2000;
+  for (int i = 0; i < kTxns; ++i) {
+    auto t = gen.NextTransfer();
+    auto shards = pbc::shard::ShardsOf(t, 4);
+    if (shards.size() > 1) ++cross;
+    EXPECT_LE(shards.size(), 2u);
+  }
+  EXPECT_NEAR(static_cast<double>(cross) / kTxns, 0.3, 0.05);
+}
+
+TEST(ShardedTransfersTest, ZeroCrossStaysLocal) {
+  ShardedTransfers gen(4, 100, 1000, 0.0, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pbc::shard::ShardsOf(gen.NextTransfer(), 4).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pbc::workload
