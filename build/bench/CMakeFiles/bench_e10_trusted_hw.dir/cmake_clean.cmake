@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_trusted_hw.dir/bench_e10_trusted_hw.cpp.o"
+  "CMakeFiles/bench_e10_trusted_hw.dir/bench_e10_trusted_hw.cpp.o.d"
+  "bench_e10_trusted_hw"
+  "bench_e10_trusted_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_trusted_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_contention.dir/bench_e2_contention.cpp.o"
+  "CMakeFiles/bench_e2_contention.dir/bench_e2_contention.cpp.o.d"
+  "bench_e2_contention"
+  "bench_e2_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_confidentiality.dir/bench_e5_confidentiality.cpp.o"
+  "CMakeFiles/bench_e5_confidentiality.dir/bench_e5_confidentiality.cpp.o.d"
+  "bench_e5_confidentiality"
+  "bench_e5_confidentiality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_confidentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_caper.dir/bench_e6_caper.cpp.o"
+  "CMakeFiles/bench_e6_caper.dir/bench_e6_caper.cpp.o.d"
+  "bench_e6_caper"
+  "bench_e6_caper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_caper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

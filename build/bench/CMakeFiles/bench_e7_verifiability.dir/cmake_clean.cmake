@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_verifiability.dir/bench_e7_verifiability.cpp.o"
+  "CMakeFiles/bench_e7_verifiability.dir/bench_e7_verifiability.cpp.o.d"
+  "bench_e7_verifiability"
+  "bench_e7_verifiability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_verifiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_sharding.dir/bench_e8_sharding.cpp.o"
+  "CMakeFiles/bench_e8_sharding.dir/bench_e8_sharding.cpp.o.d"
+  "bench_e8_sharding"
+  "bench_e8_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

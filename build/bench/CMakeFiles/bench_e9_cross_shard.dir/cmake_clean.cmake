@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_cross_shard.dir/bench_e9_cross_shard.cpp.o"
+  "CMakeFiles/bench_e9_cross_shard.dir/bench_e9_cross_shard.cpp.o.d"
+  "bench_e9_cross_shard"
+  "bench_e9_cross_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_cross_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

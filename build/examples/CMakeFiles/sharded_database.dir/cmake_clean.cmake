@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_database.dir/sharded_database.cpp.o"
+  "CMakeFiles/sharded_database.dir/sharded_database.cpp.o.d"
+  "sharded_database"
+  "sharded_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/architecture.cc" "src/arch/CMakeFiles/pbc_arch.dir/architecture.cc.o" "gcc" "src/arch/CMakeFiles/pbc_arch.dir/architecture.cc.o.d"
+  "/root/repo/src/arch/fabricpp.cc" "src/arch/CMakeFiles/pbc_arch.dir/fabricpp.cc.o" "gcc" "src/arch/CMakeFiles/pbc_arch.dir/fabricpp.cc.o.d"
+  "/root/repo/src/arch/reorder.cc" "src/arch/CMakeFiles/pbc_arch.dir/reorder.cc.o" "gcc" "src/arch/CMakeFiles/pbc_arch.dir/reorder.cc.o.d"
+  "/root/repo/src/arch/xov.cc" "src/arch/CMakeFiles/pbc_arch.dir/xov.cc.o" "gcc" "src/arch/CMakeFiles/pbc_arch.dir/xov.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/pbc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/pbc_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pbc_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_arch.dir/architecture.cc.o"
+  "CMakeFiles/pbc_arch.dir/architecture.cc.o.d"
+  "CMakeFiles/pbc_arch.dir/fabricpp.cc.o"
+  "CMakeFiles/pbc_arch.dir/fabricpp.cc.o.d"
+  "CMakeFiles/pbc_arch.dir/reorder.cc.o"
+  "CMakeFiles/pbc_arch.dir/reorder.cc.o.d"
+  "CMakeFiles/pbc_arch.dir/xov.cc.o"
+  "CMakeFiles/pbc_arch.dir/xov.cc.o.d"
+  "libpbc_arch.a"
+  "libpbc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_common.dir/bytes.cc.o"
+  "CMakeFiles/pbc_common.dir/bytes.cc.o.d"
+  "CMakeFiles/pbc_common.dir/rng.cc.o"
+  "CMakeFiles/pbc_common.dir/rng.cc.o.d"
+  "CMakeFiles/pbc_common.dir/status.cc.o"
+  "CMakeFiles/pbc_common.dir/status.cc.o.d"
+  "CMakeFiles/pbc_common.dir/thread_pool.cc.o"
+  "CMakeFiles/pbc_common.dir/thread_pool.cc.o.d"
+  "libpbc_common.a"
+  "libpbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

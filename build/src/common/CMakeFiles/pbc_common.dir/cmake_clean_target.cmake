@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbc_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/confidential/atomic_swap.cc" "src/confidential/CMakeFiles/pbc_confidential.dir/atomic_swap.cc.o" "gcc" "src/confidential/CMakeFiles/pbc_confidential.dir/atomic_swap.cc.o.d"
+  "/root/repo/src/confidential/caper.cc" "src/confidential/CMakeFiles/pbc_confidential.dir/caper.cc.o" "gcc" "src/confidential/CMakeFiles/pbc_confidential.dir/caper.cc.o.d"
+  "/root/repo/src/confidential/channels.cc" "src/confidential/CMakeFiles/pbc_confidential.dir/channels.cc.o" "gcc" "src/confidential/CMakeFiles/pbc_confidential.dir/channels.cc.o.d"
+  "/root/repo/src/confidential/private_data.cc" "src/confidential/CMakeFiles/pbc_confidential.dir/private_data.cc.o" "gcc" "src/confidential/CMakeFiles/pbc_confidential.dir/private_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/pbc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/pbc_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pbc_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_confidential.dir/atomic_swap.cc.o"
+  "CMakeFiles/pbc_confidential.dir/atomic_swap.cc.o.d"
+  "CMakeFiles/pbc_confidential.dir/caper.cc.o"
+  "CMakeFiles/pbc_confidential.dir/caper.cc.o.d"
+  "CMakeFiles/pbc_confidential.dir/channels.cc.o"
+  "CMakeFiles/pbc_confidential.dir/channels.cc.o.d"
+  "CMakeFiles/pbc_confidential.dir/private_data.cc.o"
+  "CMakeFiles/pbc_confidential.dir/private_data.cc.o.d"
+  "libpbc_confidential.a"
+  "libpbc_confidential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_confidential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

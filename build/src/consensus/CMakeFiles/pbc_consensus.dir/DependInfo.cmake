@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/hotstuff.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/hotstuff.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/hotstuff.cc.o.d"
+  "/root/repo/src/consensus/paxos.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/paxos.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/paxos.cc.o.d"
+  "/root/repo/src/consensus/pbft.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/pbft.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/pbft.cc.o.d"
+  "/root/repo/src/consensus/raft.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/raft.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/raft.cc.o.d"
+  "/root/repo/src/consensus/replica.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/replica.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/replica.cc.o.d"
+  "/root/repo/src/consensus/tendermint.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/tendermint.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/tendermint.cc.o.d"
+  "/root/repo/src/consensus/types.cc" "src/consensus/CMakeFiles/pbc_consensus.dir/types.cc.o" "gcc" "src/consensus/CMakeFiles/pbc_consensus.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/pbc_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pbc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/pbc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_consensus.dir/hotstuff.cc.o"
+  "CMakeFiles/pbc_consensus.dir/hotstuff.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/paxos.cc.o"
+  "CMakeFiles/pbc_consensus.dir/paxos.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/pbft.cc.o"
+  "CMakeFiles/pbc_consensus.dir/pbft.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/raft.cc.o"
+  "CMakeFiles/pbc_consensus.dir/raft.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/replica.cc.o"
+  "CMakeFiles/pbc_consensus.dir/replica.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/tendermint.cc.o"
+  "CMakeFiles/pbc_consensus.dir/tendermint.cc.o.d"
+  "CMakeFiles/pbc_consensus.dir/types.cc.o"
+  "CMakeFiles/pbc_consensus.dir/types.cc.o.d"
+  "libpbc_consensus.a"
+  "libpbc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_crypto.dir/auth.cc.o"
+  "CMakeFiles/pbc_crypto.dir/auth.cc.o.d"
+  "CMakeFiles/pbc_crypto.dir/group.cc.o"
+  "CMakeFiles/pbc_crypto.dir/group.cc.o.d"
+  "CMakeFiles/pbc_crypto.dir/merkle.cc.o"
+  "CMakeFiles/pbc_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/pbc_crypto.dir/sha256.cc.o"
+  "CMakeFiles/pbc_crypto.dir/sha256.cc.o.d"
+  "libpbc_crypto.a"
+  "libpbc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cc" "src/ledger/CMakeFiles/pbc_ledger.dir/block.cc.o" "gcc" "src/ledger/CMakeFiles/pbc_ledger.dir/block.cc.o.d"
+  "/root/repo/src/ledger/chain.cc" "src/ledger/CMakeFiles/pbc_ledger.dir/chain.cc.o" "gcc" "src/ledger/CMakeFiles/pbc_ledger.dir/chain.cc.o.d"
+  "/root/repo/src/ledger/dag_ledger.cc" "src/ledger/CMakeFiles/pbc_ledger.dir/dag_ledger.cc.o" "gcc" "src/ledger/CMakeFiles/pbc_ledger.dir/dag_ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pbc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/pbc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

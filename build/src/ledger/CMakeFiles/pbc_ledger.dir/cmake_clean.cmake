@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_ledger.dir/block.cc.o"
+  "CMakeFiles/pbc_ledger.dir/block.cc.o.d"
+  "CMakeFiles/pbc_ledger.dir/chain.cc.o"
+  "CMakeFiles/pbc_ledger.dir/chain.cc.o.d"
+  "CMakeFiles/pbc_ledger.dir/dag_ledger.cc.o"
+  "CMakeFiles/pbc_ledger.dir/dag_ledger.cc.o.d"
+  "libpbc_ledger.a"
+  "libpbc_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shard/common.cc" "src/shard/CMakeFiles/pbc_shard.dir/common.cc.o" "gcc" "src/shard/CMakeFiles/pbc_shard.dir/common.cc.o.d"
+  "/root/repo/src/shard/resilientdb.cc" "src/shard/CMakeFiles/pbc_shard.dir/resilientdb.cc.o" "gcc" "src/shard/CMakeFiles/pbc_shard.dir/resilientdb.cc.o.d"
+  "/root/repo/src/shard/sharper.cc" "src/shard/CMakeFiles/pbc_shard.dir/sharper.cc.o" "gcc" "src/shard/CMakeFiles/pbc_shard.dir/sharper.cc.o.d"
+  "/root/repo/src/shard/two_phase.cc" "src/shard/CMakeFiles/pbc_shard.dir/two_phase.cc.o" "gcc" "src/shard/CMakeFiles/pbc_shard.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pbc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/pbc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/pbc_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/pbc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/pbc_consensus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_shard.dir/common.cc.o"
+  "CMakeFiles/pbc_shard.dir/common.cc.o.d"
+  "CMakeFiles/pbc_shard.dir/resilientdb.cc.o"
+  "CMakeFiles/pbc_shard.dir/resilientdb.cc.o.d"
+  "CMakeFiles/pbc_shard.dir/sharper.cc.o"
+  "CMakeFiles/pbc_shard.dir/sharper.cc.o.d"
+  "CMakeFiles/pbc_shard.dir/two_phase.cc.o"
+  "CMakeFiles/pbc_shard.dir/two_phase.cc.o.d"
+  "libpbc_shard.a"
+  "libpbc_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_sim.dir/attested_log.cc.o"
+  "CMakeFiles/pbc_sim.dir/attested_log.cc.o.d"
+  "CMakeFiles/pbc_sim.dir/network.cc.o"
+  "CMakeFiles/pbc_sim.dir/network.cc.o.d"
+  "CMakeFiles/pbc_sim.dir/simulator.cc.o"
+  "CMakeFiles/pbc_sim.dir/simulator.cc.o.d"
+  "libpbc_sim.a"
+  "libpbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

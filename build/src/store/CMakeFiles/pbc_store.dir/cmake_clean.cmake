@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_store.dir/kv_store.cc.o"
+  "CMakeFiles/pbc_store.dir/kv_store.cc.o.d"
+  "libpbc_store.a"
+  "libpbc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_txn.dir/dependency_graph.cc.o"
+  "CMakeFiles/pbc_txn.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/pbc_txn.dir/executor.cc.o"
+  "CMakeFiles/pbc_txn.dir/executor.cc.o.d"
+  "CMakeFiles/pbc_txn.dir/transaction.cc.o"
+  "CMakeFiles/pbc_txn.dir/transaction.cc.o.d"
+  "libpbc_txn.a"
+  "libpbc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/crowdwork.cc" "src/verify/CMakeFiles/pbc_verify.dir/crowdwork.cc.o" "gcc" "src/verify/CMakeFiles/pbc_verify.dir/crowdwork.cc.o.d"
+  "/root/repo/src/verify/tokens.cc" "src/verify/CMakeFiles/pbc_verify.dir/tokens.cc.o" "gcc" "src/verify/CMakeFiles/pbc_verify.dir/tokens.cc.o.d"
+  "/root/repo/src/verify/zkp.cc" "src/verify/CMakeFiles/pbc_verify.dir/zkp.cc.o" "gcc" "src/verify/CMakeFiles/pbc_verify.dir/zkp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pbc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

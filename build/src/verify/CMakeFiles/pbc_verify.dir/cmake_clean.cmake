@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_verify.dir/crowdwork.cc.o"
+  "CMakeFiles/pbc_verify.dir/crowdwork.cc.o.d"
+  "CMakeFiles/pbc_verify.dir/tokens.cc.o"
+  "CMakeFiles/pbc_verify.dir/tokens.cc.o.d"
+  "CMakeFiles/pbc_verify.dir/zkp.cc.o"
+  "CMakeFiles/pbc_verify.dir/zkp.cc.o.d"
+  "libpbc_verify.a"
+  "libpbc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbc_workload.dir/workload.cc.o"
+  "CMakeFiles/pbc_workload.dir/workload.cc.o.d"
+  "libpbc_workload.a"
+  "libpbc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_swap_test.dir/atomic_swap_test.cpp.o"
+  "CMakeFiles/atomic_swap_test.dir/atomic_swap_test.cpp.o.d"
+  "atomic_swap_test"
+  "atomic_swap_test.pdb"
+  "atomic_swap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

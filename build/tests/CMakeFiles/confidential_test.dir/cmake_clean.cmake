@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_test.dir/confidential_test.cpp.o"
+  "CMakeFiles/confidential_test.dir/confidential_test.cpp.o.d"
+  "confidential_test"
+  "confidential_test.pdb"
+  "confidential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

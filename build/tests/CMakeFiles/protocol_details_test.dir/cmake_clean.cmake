@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_details_test.dir/protocol_details_test.cpp.o"
+  "CMakeFiles/protocol_details_test.dir/protocol_details_test.cpp.o.d"
+  "protocol_details_test"
+  "protocol_details_test.pdb"
+  "protocol_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_fault_test.dir/shard_fault_test.cpp.o"
+  "CMakeFiles/shard_fault_test.dir/shard_fault_test.cpp.o.d"
+  "shard_fault_test"
+  "shard_fault_test.pdb"
+  "shard_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
