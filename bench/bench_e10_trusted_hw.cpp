@@ -9,7 +9,12 @@
 //  (2) the software attested-log's unit costs (attest / verify);
 //  (3) end-to-end: simulated throughput of a 2-shard deployment at both
 //      committee sizes — smaller committees mean fewer messages.
+#include <chrono>
+#include <functional>
+#include <string>
+
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "shard/two_phase.h"
 #include "sim/attested_log.h"
 #include "workload/workload.h"
@@ -18,6 +23,10 @@ namespace {
 
 using namespace pbc;
 using bench::SimWorld;
+
+constexpr uint64_t kSeed = 10;
+
+using bench::SampleAndEmit;
 
 void BM_CommitteeSizing(benchmark::State& state) {
   uint32_t f = static_cast<uint32_t>(state.range(0));
@@ -30,6 +39,18 @@ void BM_CommitteeSizing(benchmark::State& state) {
   state.counters["replicas_with_tee"] = with_tee;
   state.counters["nodes_saved_16_shards"] =
       16.0 * (without_tee - with_tee);
+
+  obs::Json params = obs::Json::Object();
+  params.Set("f", f);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("replicas_without_tee", without_tee);
+  extra.Set("replicas_with_tee", with_tee);
+  extra.Set("nodes_saved_16_shards", 16 * (without_tee - with_tee));
+  obs::GlobalBenchReport().AddSeries(
+      "committee_sizing/f=" + std::to_string(f), std::move(params),
+      obs::BenchReport::StandardMetrics(0.0, obs::Histogram{},
+                                        /*messages_sent=*/0,
+                                        std::move(extra)));
 }
 
 void BM_AttestedLogAttest(benchmark::State& state) {
@@ -42,6 +63,10 @@ void BM_AttestedLogAttest(benchmark::State& state) {
   }
   state.counters["attest_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  SampleAndEmit("attested_log_attest", 2000, [&](size_t) {
+    benchmark::DoNotOptimize(log.Attest(seq++, digest));
+  });
 }
 
 void BM_AttestedLogVerify(benchmark::State& state) {
@@ -54,6 +79,10 @@ void BM_AttestedLogVerify(benchmark::State& state) {
   }
   state.counters["verify_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  SampleAndEmit("attested_log_verify", 2000, [&](size_t) {
+    benchmark::DoNotOptimize(sim::AttestedLog::Verify(registry, att));
+  });
 }
 
 // End-to-end with 4 (=3f+1) vs 3 (=2f+1, attested) replicas per cluster.
@@ -61,11 +90,15 @@ void BM_Deployment(benchmark::State& state) {
   size_t replicas = static_cast<size_t>(state.range(0));
   double throughput = 0, msgs = 0;
   for (auto _ : state) {
-    SimWorld w(10);
+    SimWorld w(kSeed);
     shard::TwoPhaseShardSystem sys(
         &w.net, &w.registry, shard::TwoPhaseConfig::Ahl(2, replicas));
+    bench::LatencyTracker tracker(&w.simulator);
     size_t done = 0;
-    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    sys.set_listener([&](txn::TxnId id, bool) {
+      ++done;
+      tracker.Committed(id);
+    });
     w.net.Start();
     workload::ShardedTransfers gen(2, 20, 1000, 0.2, 4);
     size_t total = 0;
@@ -77,13 +110,33 @@ void BM_Deployment(benchmark::State& state) {
     w.net.ResetStats();
     sim::Time start = w.simulator.now();
     size_t base = done;
-    for (int i = 0; i < 60; ++i) sys.Submit(gen.NextTransfer());
+    for (int i = 0; i < 60; ++i) {
+      auto t = gen.NextTransfer();
+      tracker.Submitted(t.id);
+      sys.Submit(std::move(t));
+    }
     bool ok = w.simulator.RunUntil([&] { return done >= base + 60; },
                                    600'000'000);
     throughput = ok ? 60.0 / (static_cast<double>(w.simulator.now() - start) /
                               1e6)
                     : 0;
     msgs = static_cast<double>(w.net.stats().messages_sent) / 60.0;
+
+    shard::ExportShardStats(sys.stats(), &w.metrics);
+    obs::Json params = obs::Json::Object();
+    params.Set("replicas_per_cluster", replicas);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("msgs_per_txn", msgs);
+    extra.Set("abort_rate", sys.stats().AbortRate());
+    extra.Set("consensus_rounds",
+              w.metrics.CounterValue("shard.consensus_rounds"));
+    obs::GlobalBenchReport().AddSeries(
+        "deployment/replicas=" + std::to_string(replicas),
+        std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
   state.counters["msgs_per_txn"] = msgs;
@@ -97,4 +150,14 @@ BENCHMARK(BM_Deployment)->Arg(4)->Arg(3)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E10Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("shards", 2);
+  c.Set("cross_shard_frac", 0.2);
+  c.Set("burst_txns", 60);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e10_trusted_hw", kSeed, E10Config());

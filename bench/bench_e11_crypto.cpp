@@ -3,16 +3,23 @@
 // proofs, range proofs, confidential transfers.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench/bench_util.h"
 #include "crypto/auth.h"
 #include "crypto/group.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "obs/report.h"
 #include "verify/zkp.h"
 
 namespace {
 
 using namespace pbc;
 using namespace pbc::crypto;
+using bench::SampleAndEmit;
+
+constexpr uint64_t kSeed = 0;  // fixed inputs; generators use local seeds
 
 void BM_Sha256(benchmark::State& state) {
   size_t size = static_cast<size_t>(state.range(0));
@@ -21,6 +28,9 @@ void BM_Sha256(benchmark::State& state) {
     benchmark::DoNotOptimize(Sha256::Digest(data));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+
+  SampleAndEmit("sha256/bytes=" + std::to_string(size), 5000,
+                [&](size_t) { benchmark::DoNotOptimize(Sha256::Digest(data)); });
 }
 
 void BM_HmacSha256(benchmark::State& state) {
@@ -31,6 +41,9 @@ void BM_HmacSha256(benchmark::State& state) {
   }
   state.SetBytesProcessed(
       static_cast<int64_t>(state.iterations() * msg.size()));
+
+  SampleAndEmit("hmac_sha256/bytes=" + std::to_string(msg.size()), 5000,
+                [&](size_t) { benchmark::DoNotOptimize(HmacSha256(key, msg)); });
 }
 
 void BM_MerkleBuild(benchmark::State& state) {
@@ -46,6 +59,12 @@ void BM_MerkleBuild(benchmark::State& state) {
   state.counters["leaves_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * n),
       benchmark::Counter::kIsRate);
+
+  SampleAndEmit("merkle_build/leaves=" + std::to_string(n), 200,
+                [&](size_t) {
+                  MerkleTree tree(leaves);
+                  benchmark::DoNotOptimize(tree.root());
+                });
 }
 
 void BM_MerkleProveVerify(benchmark::State& state) {
@@ -62,6 +81,13 @@ void BM_MerkleProveVerify(benchmark::State& state) {
         MerkleTree::Verify(tree.root(), leaves[i % n], proof));
     ++i;
   }
+
+  SampleAndEmit("merkle_prove_verify/leaves=" + std::to_string(n), 2000,
+                [&](size_t j) {
+                  auto proof = tree.Prove(j % n).ValueOrDie();
+                  benchmark::DoNotOptimize(
+                      MerkleTree::Verify(tree.root(), leaves[j % n], proof));
+                });
 }
 
 void BM_SignVerify(benchmark::State& state) {
@@ -72,6 +98,11 @@ void BM_SignVerify(benchmark::State& state) {
     Signature sig = key.Sign(msg);
     benchmark::DoNotOptimize(registry.Verify(msg, sig));
   }
+
+  SampleAndEmit("sign_verify", 5000, [&](size_t) {
+    Signature sig = key.Sign(msg);
+    benchmark::DoNotOptimize(registry.Verify(msg, sig));
+  });
 }
 
 void BM_PedersenCommit(benchmark::State& state) {
@@ -80,6 +111,11 @@ void BM_PedersenCommit(benchmark::State& state) {
     benchmark::DoNotOptimize(
         PedersenCommit(Scalar(12345), Scalar::Random(&rng)));
   }
+
+  SampleAndEmit("pedersen_commit", 2000, [&](size_t) {
+    benchmark::DoNotOptimize(
+        PedersenCommit(Scalar(12345), Scalar::Random(&rng)));
+  });
 }
 
 void BM_OpeningProve(benchmark::State& state) {
@@ -89,6 +125,10 @@ void BM_OpeningProve(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(verify::ProveOpening(c, m, r, &rng));
   }
+
+  SampleAndEmit("opening_prove", 2000, [&](size_t) {
+    benchmark::DoNotOptimize(verify::ProveOpening(c, m, r, &rng));
+  });
 }
 
 void BM_OpeningVerify(benchmark::State& state) {
@@ -99,6 +139,10 @@ void BM_OpeningVerify(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(verify::VerifyOpening(c, proof));
   }
+
+  SampleAndEmit("opening_verify", 2000, [&](size_t) {
+    benchmark::DoNotOptimize(verify::VerifyOpening(c, proof));
+  });
 }
 
 void BM_RangeProve(benchmark::State& state) {
@@ -109,6 +153,12 @@ void BM_RangeProve(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(verify::ProveRange(c, 3, r, bits, &rng));
   }
+
+  SampleAndEmit("range_prove/bits=" + std::to_string(bits), 100,
+                [&](size_t) {
+                  benchmark::DoNotOptimize(
+                      verify::ProveRange(c, 3, r, bits, &rng));
+                });
 }
 
 void BM_RangeVerify(benchmark::State& state) {
@@ -120,6 +170,11 @@ void BM_RangeVerify(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(verify::VerifyRange(c, proof));
   }
+
+  SampleAndEmit("range_verify/bits=" + std::to_string(bits), 100,
+                [&](size_t) {
+                  benchmark::DoNotOptimize(verify::VerifyRange(c, proof));
+                });
 }
 
 void BM_TransferVerify(benchmark::State& state) {
@@ -131,6 +186,10 @@ void BM_TransferVerify(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(verify::VerifyTransfer(t));
   }
+
+  SampleAndEmit("transfer_verify", 100, [&](size_t) {
+    benchmark::DoNotOptimize(verify::VerifyTransfer(t));
+  });
 }
 
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
@@ -147,4 +206,12 @@ BENCHMARK(BM_TransferVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E11Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("note", "crypto substrate microbenchmarks");
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e11_crypto", kSeed, E11Config());

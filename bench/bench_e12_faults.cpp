@@ -5,28 +5,54 @@
 // with a crashed leader (measures view-change recovery), and with a
 // silent Byzantine replica. Safety under these faults is asserted by the
 // property tests; this bench quantifies the performance cost.
+#include <string>
+
 #include "bench/bench_util.h"
 #include "consensus/hotstuff.h"
 #include "consensus/pbft.h"
 #include "consensus/tendermint.h"
+#include "obs/report.h"
 
 namespace {
 
 using namespace pbc;
+using bench::LatencyTracker;
 using bench::SimWorld;
 
+constexpr uint64_t kSeed = 12;
 constexpr int kTxns = 150;
 constexpr sim::Time kDeadline = 600'000'000;
 
 enum class Fault { kNone = 0, kCrashFollower, kCrashLeader, kSilentByz };
 
+const char* FaultName(Fault fault) {
+  switch (fault) {
+    case Fault::kNone:
+      return "none";
+    case Fault::kCrashFollower:
+      return "crash_follower";
+    case Fault::kCrashLeader:
+      return "crash_leader";
+    case Fault::kSilentByz:
+      return "silent_byz";
+  }
+  return "unknown";
+}
+
 template <typename ReplicaT>
-void RunFaulted(benchmark::State& state) {
+void RunFaulted(benchmark::State& state, const char* label) {
   Fault fault = static_cast<Fault>(state.range(0));
   double throughput = 0, view_changes = 0;
   for (auto _ : state) {
-    SimWorld w(12);
+    SimWorld w(kSeed);
     consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, 4);
+    LatencyTracker tracker(&w.simulator);
+    // Replica 1 is healthy under every fault below; use it to observe
+    // commits for the latency histogram.
+    cluster.replica(1)->set_commit_listener(
+        [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          for (const auto& t : batch.txns) tracker.Committed(t.id);
+        });
     std::vector<size_t> skip;
     switch (fault) {
       case Fault::kNone:
@@ -50,33 +76,48 @@ void RunFaulted(benchmark::State& state) {
     }
     w.net.Start();
     for (int i = 0; i < kTxns; ++i) {
-      cluster.Submit(
-          consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 13), "v"));
+      auto t = consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 13), "v");
+      tracker.Submitted(t.id);
+      cluster.Submit(t);
     }
     if (fault == Fault::kCrashLeader) {
       w.simulator.Schedule(500, [&w] { w.net.Crash(0); });
     }
     bool ok = w.simulator.RunUntil(
         [&] { return cluster.MinCommitted(skip) >= kTxns; }, kDeadline);
+    sim::Time elapsed = w.simulator.now();
     throughput = ok ? static_cast<double>(kTxns) /
-                          (static_cast<double>(w.simulator.now()) / 1e6)
+                          (static_cast<double>(elapsed) / 1e6)
                     : 0;
-    if constexpr (std::is_same_v<ReplicaT, consensus::PbftReplica>) {
-      view_changes = static_cast<double>(cluster.replica(1)->view_changes());
-    }
+    view_changes = static_cast<double>(
+        w.metrics.CounterValue("consensus.view_changes"));
+
+    obs::Json params = obs::Json::Object();
+    params.Set("fault", FaultName(fault));
+    params.Set("n", 4);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("sim_elapsed_us", elapsed);
+    extra.Set("view_changes", view_changes);
+    extra.Set("msgs_dropped", w.net.stats().messages_dropped);
+    obs::GlobalBenchReport().AddSeries(
+        std::string(label) + "/fault=" + FaultName(fault), std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
   state.counters["view_changes"] = view_changes;
 }
 
 void BM_PBFT(benchmark::State& state) {
-  RunFaulted<consensus::PbftReplica>(state);
+  RunFaulted<consensus::PbftReplica>(state, "PBFT");
 }
 void BM_HotStuff(benchmark::State& state) {
-  RunFaulted<consensus::HotStuffReplica>(state);
+  RunFaulted<consensus::HotStuffReplica>(state, "HotStuff");
 }
 void BM_Tendermint(benchmark::State& state) {
-  RunFaulted<consensus::TendermintReplica>(state);
+  RunFaulted<consensus::TendermintReplica>(state, "Tendermint");
 }
 
 #define SWEEP Arg(0)->Arg(1)->Arg(2)->Arg(3)->Iterations(1)
@@ -87,4 +128,14 @@ BENCHMARK(BM_Tendermint)->SWEEP->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E12Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("txns", kTxns);
+  c.Set("n", 4);
+  c.Set("deadline_us", kDeadline);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e12_faults", kSeed, E12Config());

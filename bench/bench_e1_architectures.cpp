@@ -7,14 +7,20 @@
 // shape: OX flat in threads; OXII/XOV/FastFabric scale with threads.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
 #include "arch/architecture.h"
 #include "arch/xov.h"
+#include "bench/bench_util.h"
+#include "obs/report.h"
 #include "workload/workload.h"
 
 namespace {
 
 using namespace pbc;
 
+constexpr uint64_t kSeed = 1;
 constexpr size_t kBlockSize = 128;
 constexpr int kBlocks = 8;
 constexpr int64_t kComputeRounds = 120;  // contract cost per transaction
@@ -28,8 +34,12 @@ workload::ZipfianKv MakeGen() {
 }
 
 template <typename Arch>
-void RunArch(benchmark::State& state) {
+void RunArch(benchmark::State& state, const char* label) {
   size_t threads = static_cast<size_t>(state.range(0));
+  obs::Histogram block_latency_us;  // wall-clock per ProcessBlock
+  obs::MetricsRegistry reg;
+  double total_secs = 0;
+  uint64_t total_txns = 0;
   for (auto _ : state) {
     state.PauseTiming();
     ThreadPool pool(threads);
@@ -38,26 +48,50 @@ void RunArch(benchmark::State& state) {
     std::vector<std::vector<txn::Transaction>> blocks;
     for (int b = 0; b < kBlocks; ++b) blocks.push_back(gen.Block(kBlockSize));
     state.ResumeTiming();
-    for (const auto& block : blocks) arch.ProcessBlock(block);
+    for (const auto& block : blocks) {
+      auto t0 = std::chrono::steady_clock::now();
+      arch.ProcessBlock(block);
+      auto t1 = std::chrono::steady_clock::now();
+      block_latency_us.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()));
+    }
     state.PauseTiming();
     state.counters["committed"] =
         static_cast<double>(arch.stats().committed);
+    total_txns += arch.stats().committed;
+    reg.Clear();
+    arch.ExportMetrics(&reg);
     state.ResumeTiming();
   }
+  total_secs = static_cast<double>(block_latency_us.sum()) / 1e6;
   state.counters["txn_per_s"] = benchmark::Counter(
       static_cast<double>(kBlocks * kBlockSize) * state.iterations(),
       benchmark::Counter::kIsRate);
+
+  obs::Json params = obs::Json::Object();
+  params.Set("threads", threads);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("block_latency_us", obs::ToJson(block_latency_us));
+  obs::GlobalBenchReport().AddSeries(
+      std::string(label) + "/threads=" + std::to_string(threads),
+      std::move(params),
+      obs::BenchReport::StandardMetrics(
+          total_secs == 0 ? 0.0 : static_cast<double>(total_txns) / total_secs,
+          block_latency_us, /*messages_sent=*/0, std::move(extra), &reg));
 }
 
-void BM_OX(benchmark::State& state) { RunArch<arch::OxArchitecture>(state); }
+void BM_OX(benchmark::State& state) {
+  RunArch<arch::OxArchitecture>(state, "OX");
+}
 void BM_OXII(benchmark::State& state) {
-  RunArch<arch::OxiiArchitecture>(state);
+  RunArch<arch::OxiiArchitecture>(state, "OXII");
 }
 void BM_XOV(benchmark::State& state) {
-  RunArch<arch::XovArchitecture>(state);
+  RunArch<arch::XovArchitecture>(state, "XOV");
 }
 void BM_FastFabric(benchmark::State& state) {
-  RunArch<arch::FastFabricArchitecture>(state);
+  RunArch<arch::FastFabricArchitecture>(state, "FastFabric");
 }
 
 BENCHMARK(BM_OX)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
@@ -67,4 +101,14 @@ BENCHMARK(BM_FastFabric)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()->Unit(be
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E1Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("blocks", kBlocks);
+  c.Set("block_size", kBlockSize);
+  c.Set("compute_rounds", kComputeRounds);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e1_architectures", kSeed, E1Config());

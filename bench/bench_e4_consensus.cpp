@@ -6,12 +6,15 @@
 // latency, and messages per committed transaction. Expected shape: PBFT
 // msgs/txn grows ~n², HotStuff ~n; Raft cheapest (no signatures, leader
 // fan-out); Tendermint pays a full round per height.
+#include <string>
+
 #include "bench/bench_util.h"
 #include "consensus/hotstuff.h"
 #include "consensus/paxos.h"
 #include "consensus/pbft.h"
 #include "consensus/raft.h"
 #include "consensus/tendermint.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -19,15 +22,16 @@ using namespace pbc;
 using bench::LatencyTracker;
 using bench::SimWorld;
 
+constexpr uint64_t kSeed = 42;
 constexpr int kTxns = 200;
 constexpr sim::Time kDeadline = 300'000'000;
 
 template <typename ReplicaT>
-void RunConsensus(benchmark::State& state) {
+void RunConsensus(benchmark::State& state, const char* label) {
   size_t n = static_cast<size_t>(state.range(0));
   double throughput = 0, latency = 0, msgs_per_txn = 0;
   for (auto _ : state) {
-    SimWorld w(42);
+    SimWorld w(kSeed);
     consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, n);
     LatencyTracker tracker(&w.simulator);
     cluster.replica(0)->set_commit_listener(
@@ -49,6 +53,19 @@ void RunConsensus(benchmark::State& state) {
     latency = tracker.MeanUs();
     msgs_per_txn =
         static_cast<double>(w.net.stats().messages_sent) / kTxns;
+
+    obs::Json params = obs::Json::Object();
+    params.Set("n", n);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("sim_elapsed_us", elapsed);
+    extra.Set("msgs_per_txn", msgs_per_txn);
+    extra.Set("view_changes", w.metrics.CounterValue("consensus.view_changes"));
+    obs::GlobalBenchReport().AddSeries(
+        std::string(label) + "/n=" + std::to_string(n), std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
   state.counters["latency_us"] = latency;
@@ -56,19 +73,19 @@ void RunConsensus(benchmark::State& state) {
 }
 
 void BM_PBFT(benchmark::State& state) {
-  RunConsensus<consensus::PbftReplica>(state);
+  RunConsensus<consensus::PbftReplica>(state, "PBFT");
 }
 void BM_Raft(benchmark::State& state) {
-  RunConsensus<consensus::RaftReplica>(state);
+  RunConsensus<consensus::RaftReplica>(state, "Raft");
 }
 void BM_HotStuff(benchmark::State& state) {
-  RunConsensus<consensus::HotStuffReplica>(state);
+  RunConsensus<consensus::HotStuffReplica>(state, "HotStuff");
 }
 void BM_Tendermint(benchmark::State& state) {
-  RunConsensus<consensus::TendermintReplica>(state);
+  RunConsensus<consensus::TendermintReplica>(state, "Tendermint");
 }
 void BM_Paxos(benchmark::State& state) {
-  RunConsensus<consensus::PaxosReplica>(state);
+  RunConsensus<consensus::PaxosReplica>(state, "Paxos");
 }
 
 #define SWEEP Arg(4)->Arg(7)->Arg(13)->Arg(25)->Iterations(1)
@@ -81,4 +98,15 @@ BENCHMARK(BM_Tendermint)->SWEEP->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E4Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("txns", kTxns);
+  c.Set("deadline_us", kDeadline);
+  c.Set("base_latency_us", 500);
+  c.Set("jitter_us", 200);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e4_consensus", kSeed, E4Config());

@@ -13,16 +13,53 @@
 // replication factor, and wall-clock cost of the hashing overhead.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "confidential/channels.h"
 #include "confidential/private_data.h"
+#include "obs/report.h"
 
 namespace {
 
 using namespace pbc;
 using namespace pbc::confidential;
 
+constexpr uint64_t kSeed = 0;  // deterministic workload, no randomness
 constexpr uint32_t kEnterprises = 6;
 constexpr int kTxnsPerPair = 50;
+
+// Wall-clock timer helper: records each iteration's duration and adds a
+// standard series row at the end of the benchmark.
+class E5Series {
+ public:
+  explicit E5Series(const char* name) : name_(name) {}
+  void TimeIteration(const std::function<void()>& body) {
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    auto t1 = std::chrono::steady_clock::now();
+    run_latency_us_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+  }
+  void Emit(uint64_t txns, obs::Json extra) {
+    double secs = static_cast<double>(run_latency_us_.sum()) / 1e6;
+    extra.Set("run_latency_us", obs::ToJson(run_latency_us_));
+    obs::GlobalBenchReport().AddSeries(
+        name_, obs::Json::Object(),
+        obs::BenchReport::StandardMetrics(
+            secs == 0 ? 0.0
+                      : static_cast<double>(txns) * run_latency_us_.count() /
+                            secs,
+            run_latency_us_, /*messages_sent=*/0, std::move(extra)));
+  }
+
+ private:
+  std::string name_;
+  obs::Histogram run_latency_us_;
+};
 
 std::vector<std::pair<uint32_t, uint32_t>> Pairs() {
   // Each adjacent pair shares confidential data.
@@ -33,47 +70,59 @@ std::vector<std::pair<uint32_t, uint32_t>> Pairs() {
 
 void BM_Channels(benchmark::State& state) {
   uint64_t blocks_per_enterprise = 0, admin_objects = 0;
+  E5Series series("channels");
   for (auto _ : state) {
-    ChannelSystem sys;
-    sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});  // the consortium channel
-    uint32_t next = 1;
-    for (auto [a, b] : Pairs()) sys.CreateChannel(next++, {a, b});
-    txn::TxnId id = 1;
-    uint32_t ch = 1;
-    for (auto [a, b] : Pairs()) {
-      for (int i = 0; i < kTxnsPerPair; ++i) {
-        txn::Transaction t;
-        t.id = id++;
-        t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
-        sys.Submit(ch, a, t);
+    series.TimeIteration([&] {
+      ChannelSystem sys;
+      sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});  // the consortium channel
+      uint32_t next = 1;
+      for (auto [a, b] : Pairs()) sys.CreateChannel(next++, {a, b});
+      txn::TxnId id = 1;
+      uint32_t ch = 1;
+      for (auto [a, b] : Pairs()) {
+        for (int i = 0; i < kTxnsPerPair; ++i) {
+          txn::Transaction t;
+          t.id = id++;
+          t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
+          sys.Submit(ch, a, t);
+        }
+        ++ch;
       }
-      ++ch;
-    }
-    blocks_per_enterprise = sys.LedgerBlocksStoredBy(1);
-    admin_objects = sys.num_channels();
+      blocks_per_enterprise = sys.LedgerBlocksStoredBy(1);
+      admin_objects = sys.num_channels();
+    });
   }
   state.counters["ledger_blocks_ent1"] =
       static_cast<double>(blocks_per_enterprise);
   state.counters["admin_objects"] = static_cast<double>(admin_objects);
   state.counters["plaintext_replicas"] = 2;  // only the pair stores data
+
+  obs::Json extra = obs::Json::Object();
+  extra.Set("ledger_blocks_ent1", blocks_per_enterprise);
+  extra.Set("admin_objects", admin_objects);
+  extra.Set("plaintext_replicas", 2);
+  series.Emit(Pairs().size() * kTxnsPerPair, std::move(extra));
 }
 
 void BM_PrivateDataCollections(benchmark::State& state) {
   uint64_t hash_entries = 0, admin_objects = 0;
+  E5Series series("pdc");
   for (auto _ : state) {
-    PdcChannel channel({0, 1, 2, 3, 4, 5});
-    for (auto [a, b] : Pairs()) {
-      channel.DefineCollection("c" + std::to_string(a), {a, b});
-    }
-    admin_objects = Pairs().size();
-    uint64_t salt = 0;
-    for (auto [a, b] : Pairs()) {
-      for (int i = 0; i < kTxnsPerPair; ++i) {
-        channel.PutPrivate("c" + std::to_string(a), a,
-                           "secret" + std::to_string(i), "v", salt++);
+    series.TimeIteration([&] {
+      PdcChannel channel({0, 1, 2, 3, 4, 5});
+      for (auto [a, b] : Pairs()) {
+        channel.DefineCollection("c" + std::to_string(a), {a, b});
       }
-    }
-    hash_entries = Pairs().size() * kTxnsPerPair;
+      admin_objects = Pairs().size();
+      uint64_t salt = 0;
+      for (auto [a, b] : Pairs()) {
+        for (int i = 0; i < kTxnsPerPair; ++i) {
+          channel.PutPrivate("c" + std::to_string(a), a,
+                             "secret" + std::to_string(i), "v", salt++);
+        }
+      }
+      hash_entries = Pairs().size() * kTxnsPerPair;
+    });
   }
   // Every channel member (all 6) stores every hash: the "data in ledgers
   // of irrelevant enterprises" overhead.
@@ -81,28 +130,43 @@ void BM_PrivateDataCollections(benchmark::State& state) {
       static_cast<double>(hash_entries);
   state.counters["admin_objects"] = static_cast<double>(admin_objects);
   state.counters["plaintext_replicas"] = 2;
+
+  obs::Json extra = obs::Json::Object();
+  extra.Set("onledger_hashes_all_members", hash_entries);
+  extra.Set("admin_objects", admin_objects);
+  extra.Set("plaintext_replicas", 2);
+  series.Emit(Pairs().size() * kTxnsPerPair, std::move(extra));
 }
 
 void BM_SingleChannelBaseline(benchmark::State& state) {
   uint64_t blocks = 0;
+  E5Series series("single_channel");
   for (auto _ : state) {
-    ChannelSystem sys;
-    sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});
-    txn::TxnId id = 1;
-    for (auto [a, b] : Pairs()) {
-      for (int i = 0; i < kTxnsPerPair; ++i) {
-        txn::Transaction t;
-        t.id = id++;
-        t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
-        sys.Submit(0, a, t);
+    series.TimeIteration([&] {
+      ChannelSystem sys;
+      sys.CreateChannel(0, {0, 1, 2, 3, 4, 5});
+      txn::TxnId id = 1;
+      for (auto [a, b] : Pairs()) {
+        for (int i = 0; i < kTxnsPerPair; ++i) {
+          txn::Transaction t;
+          t.id = id++;
+          t.ops.push_back(txn::Op::Write("secret" + std::to_string(i), "v"));
+          sys.Submit(0, a, t);
+        }
       }
-    }
-    blocks = sys.LedgerBlocksStoredBy(1);
+      blocks = sys.LedgerBlocksStoredBy(1);
+    });
   }
   state.counters["ledger_blocks_ent1"] = static_cast<double>(blocks);
   state.counters["admin_objects"] = 1;
   // No confidentiality: all 6 enterprises hold plaintext.
   state.counters["plaintext_replicas"] = 6;
+
+  obs::Json extra = obs::Json::Object();
+  extra.Set("ledger_blocks_ent1", blocks);
+  extra.Set("admin_objects", 1);
+  extra.Set("plaintext_replicas", 6);
+  series.Emit(Pairs().size() * kTxnsPerPair, std::move(extra));
 }
 
 BENCHMARK(BM_Channels)->Unit(benchmark::kMillisecond);
@@ -111,4 +175,13 @@ BENCHMARK(BM_SingleChannelBaseline)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E5Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("enterprises", kEnterprises);
+  c.Set("txns_per_pair", kTxnsPerPair);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e5_confidentiality", kSeed, E5Config());

@@ -8,22 +8,28 @@
 // workload where EVERY transaction goes through global consensus
 // (single-blockchain deployment). Expected shape: Caper's advantage
 // shrinks as the cross fraction grows; at 100% the two coincide.
+#include <string>
+
 #include "bench/bench_util.h"
 #include "confidential/caper.h"
 #include "consensus/pbft.h"
+#include "obs/report.h"
 #include "workload/workload.h"
 
 namespace {
 
 using namespace pbc;
+using bench::LatencyTracker;
 using bench::SimWorld;
 
+constexpr uint64_t kSeed = 5;
 constexpr uint32_t kEnterprises = 3;
 constexpr int kTxns = 150;
 constexpr sim::Time kDeadline = 600'000'000;
 
 struct CaperWorld {
-  explicit CaperWorld(SimWorld* w) : caper(kEnterprises) {
+  explicit CaperWorld(SimWorld* w, LatencyTracker* tracker)
+      : caper(kEnterprises), tracker_(tracker) {
     for (uint32_t e = 0; e < kEnterprises; ++e) {
       internal.push_back(
           std::make_unique<consensus::Cluster<consensus::PbftReplica>>(
@@ -59,6 +65,7 @@ struct CaperWorld {
       if (it != pending.end()) {
         it->second(t);
         pending.erase(it);
+        if (tracker_ != nullptr) tracker_->Committed(t.id);
       }
     }
   }
@@ -68,19 +75,22 @@ struct CaperWorld {
       internal;
   std::unique_ptr<consensus::Cluster<consensus::PbftReplica>> global;
   std::map<txn::TxnId, confidential::CaperSystem::CommitFn> pending;
+  LatencyTracker* tracker_;
 };
 
 void BM_Caper(benchmark::State& state) {
   double cross_frac = static_cast<double>(state.range(0)) / 100.0;
   double throughput = 0, global_load = 0;
   for (auto _ : state) {
-    SimWorld w(5);
-    CaperWorld world(&w);
+    SimWorld w(kSeed);
+    LatencyTracker tracker(&w.simulator);
+    CaperWorld world(&w, &tracker);
     w.net.Start();
     workload::SupplyChain gen(kEnterprises, cross_frac, 9);
     int internal_sent = 0, cross_sent = 0;
     for (int i = 0; i < kTxns; ++i) {
       auto step = gen.Next();
+      tracker.Submitted(step.txn.id);
       if (step.cross) {
         world.caper.SubmitCross(step.txn);
         ++cross_sent;
@@ -103,6 +113,19 @@ void BM_Caper(benchmark::State& state) {
         static_cast<double>(world.global->replica(0)->committed_txns());
     state.counters["msgs_per_txn"] =
         static_cast<double>(w.net.stats().messages_sent) / kTxns;
+
+    obs::Json params = obs::Json::Object();
+    params.Set("cross_frac", cross_frac);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("internal_sent", internal_sent);
+    extra.Set("cross_sent", cross_sent);
+    extra.Set("global_cluster_txns", global_load);
+    obs::GlobalBenchReport().AddSeries(
+        "Caper/cross=" + std::to_string(state.range(0)), std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
   state.counters["global_cluster_txns"] = global_load;
@@ -112,10 +135,15 @@ void BM_Caper(benchmark::State& state) {
 void BM_SingleBlockchain(benchmark::State& state) {
   double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(5);
+    SimWorld w(kSeed);
     consensus::Cluster<consensus::PbftReplica> global(
         &w.net, &w.registry, 4 * kEnterprises, consensus::ClusterConfig{},
         1000);
+    LatencyTracker tracker(&w.simulator);
+    global.replica(0)->set_commit_listener(
+        [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          for (const auto& t : batch.txns) tracker.Committed(t.id);
+        });
     w.net.Start();
     // The same mix, but every transaction goes to the global cluster
     // (namespace checks don't apply in the flat deployment).
@@ -123,7 +151,9 @@ void BM_SingleBlockchain(benchmark::State& state) {
                               static_cast<double>(state.range(0)) / 100.0,
                               9);
     for (int i = 0; i < kTxns; ++i) {
-      global.Submit(gen.Next().txn);
+      auto t = gen.Next().txn;
+      tracker.Submitted(t.id);
+      global.Submit(std::move(t));
     }
     bool ok = w.simulator.RunUntil(
         [&] { return global.MinCommitted() >= kTxns; }, kDeadline);
@@ -132,6 +162,17 @@ void BM_SingleBlockchain(benchmark::State& state) {
                     : 0;
     state.counters["msgs_per_txn"] =
         static_cast<double>(w.net.stats().messages_sent) / kTxns;
+
+    obs::Json params = obs::Json::Object();
+    params.Set("cross_frac", static_cast<double>(state.range(0)) / 100.0);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    obs::GlobalBenchReport().AddSeries(
+        "SingleBlockchain/cross=" + std::to_string(state.range(0)),
+        std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
 }
@@ -143,4 +184,15 @@ BENCHMARK(BM_SingleBlockchain)->SWEEP->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E6Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("enterprises", kEnterprises);
+  c.Set("txns", kTxns);
+  c.Set("deadline_us", kDeadline);
+  c.Set("workload_seed", 9);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e6_caper", kSeed, E6Config());

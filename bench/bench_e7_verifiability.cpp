@@ -10,6 +10,12 @@
 // relative to production curves; the ordering still holds).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "obs/report.h"
 #include "verify/crowdwork.h"
 #include "verify/tokens.h"
 
@@ -18,7 +24,10 @@ namespace {
 using namespace pbc;
 using namespace pbc::verify;
 
+constexpr uint64_t kSeed = 1;
 constexpr uint64_t kCap = 40;
+
+using bench::SampleAndEmit;
 
 // Baseline: a trusted ledger that sees hours in plaintext.
 void BM_PlaintextCheck(benchmark::State& state) {
@@ -36,6 +45,17 @@ void BM_PlaintextCheck(benchmark::State& state) {
   }
   state.counters["claims_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  SampleAndEmit("plaintext_check", 10000, [&](size_t i) {
+    uint32_t id = static_cast<uint32_t>(i) % 1000;
+    uint64_t& total = totals[id];
+    if (total + 8 <= kCap) {
+      total += 8;
+    } else {
+      total = 8;
+    }
+    benchmark::DoNotOptimize(total);
+  });
 }
 
 void BM_TokenSpend(benchmark::State& state) {
@@ -56,6 +76,12 @@ void BM_TokenSpend(benchmark::State& state) {
   }
   state.counters["claims_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  std::vector<Token> sample_tokens =
+      authority.Mint(1, 999'000'000, 2000, &rng);
+  SampleAndEmit("token_spend", sample_tokens.size(), [&](size_t i) {
+    benchmark::DoNotOptimize(log.Spend(sample_tokens[i]));
+  });
 }
 
 void BM_TokenMint(benchmark::State& state) {
@@ -68,6 +94,10 @@ void BM_TokenMint(benchmark::State& state) {
   state.counters["mints_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * 40),
       benchmark::Counter::kIsRate);
+
+  SampleAndEmit("token_mint40", 200, [&](size_t) {
+    benchmark::DoNotOptimize(authority.Mint(1, 1, 40, &rng));
+  });
 }
 
 void BM_ZkClaimProve(benchmark::State& state) {
@@ -86,6 +116,15 @@ void BM_ZkClaimProve(benchmark::State& state) {
   }
   state.counters["claims_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  SampleAndEmit("zk_claim_prove", 60, [&](size_t) {
+    if (claimed + 8 > kCap) {
+      worker = ZkHourTracker(1, kCap, &rng);
+      claimed = 0;
+    }
+    benchmark::DoNotOptimize(worker.Claim(8, &rng));
+    claimed += 8;
+  });
 }
 
 void BM_ZkClaimProveAndVerify(benchmark::State& state) {
@@ -109,6 +148,17 @@ void BM_ZkClaimProveAndVerify(benchmark::State& state) {
   }
   state.counters["claims_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+
+  SampleAndEmit("zk_claim_prove_verify", 60, [&](size_t) {
+    if (claimed + 8 > kCap) {
+      worker = ZkHourTracker(++period * 100000 + 1, kCap, &rng);
+      platform.Register(worker.Register(&rng));
+      claimed = 0;
+    }
+    auto claim = worker.Claim(8, &rng);
+    benchmark::DoNotOptimize(platform.Accept(claim.ValueOrDie()));
+    claimed += 8;
+  });
 }
 
 BENCHMARK(BM_PlaintextCheck);
@@ -119,4 +169,13 @@ BENCHMARK(BM_ZkClaimProveAndVerify)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E7Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("hour_cap", kCap);
+  c.Set("claim_hours", 8);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e7_verifiability", kSeed, E7Config());

@@ -9,7 +9,10 @@
 // (single ledger, full replication). Expected shape: SharPer's throughput
 // grows ~linearly with shards; the single-ledger design pays a global
 // multicast per transaction and flattens out.
+#include <string>
+
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "shard/resilientdb.h"
 #include "shard/sharper.h"
 #include "workload/workload.h"
@@ -17,8 +20,10 @@
 namespace {
 
 using namespace pbc;
+using bench::LatencyTracker;
 using bench::SimWorld;
 
+constexpr uint64_t kSeed = 8;
 constexpr int kTxnsPerShard = 40;
 constexpr sim::Time kDeadline = 600'000'000;
 
@@ -26,10 +31,14 @@ void BM_SharPer(benchmark::State& state) {
   uint32_t shards = static_cast<uint32_t>(state.range(0));
   double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(8);
+    SimWorld w(kSeed);
     shard::SharperSystem sys(&w.net, &w.registry, shards);
+    LatencyTracker tracker(&w.simulator);
     size_t done = 0;
-    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    sys.set_listener([&](txn::TxnId id, bool) {
+      ++done;
+      tracker.Committed(id);
+    });
     w.net.Start();
     workload::ShardedTransfers gen(shards, 20, 1000, 0.1, 3);
     size_t total = 0;
@@ -42,13 +51,31 @@ void BM_SharPer(benchmark::State& state) {
     size_t base = done;
     size_t txns = kTxnsPerShard * shards;
     // Closed-loop burst: measures capacity, not arrival rate.
-    for (size_t i = 0; i < txns; ++i) sys.Submit(gen.NextTransfer());
+    for (size_t i = 0; i < txns; ++i) {
+      auto t = gen.NextTransfer();
+      tracker.Submitted(t.id);
+      sys.Submit(std::move(t));
+    }
     bool ok = w.simulator.RunUntil(
         [&] { return done >= base + txns; }, kDeadline);
     throughput =
         ok ? static_cast<double>(txns) /
                  (static_cast<double>(w.simulator.now() - start) / 1e6)
            : 0;
+
+    shard::ExportShardStats(sys.stats(), &w.metrics);
+    obs::Json params = obs::Json::Object();
+    params.Set("shards", shards);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("abort_rate", sys.stats().AbortRate());
+    extra.Set("consensus_rounds",
+              w.metrics.CounterValue("shard.consensus_rounds"));
+    obs::GlobalBenchReport().AddSeries(
+        "SharPer/shards=" + std::to_string(shards), std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
 }
@@ -57,10 +84,14 @@ void BM_ResilientDB(benchmark::State& state) {
   uint32_t clusters = static_cast<uint32_t>(state.range(0));
   double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(8);
+    SimWorld w(kSeed);
     shard::ResilientDbSystem sys(&w.net, &w.registry, clusters);
+    LatencyTracker tracker(&w.simulator);
     size_t done = 0;
-    sys.set_listener([&](txn::TxnId, bool) { ++done; });
+    sys.set_listener([&](txn::TxnId id, bool) {
+      ++done;
+      tracker.Committed(id);
+    });
     w.net.Start();
     // Same aggregate load, spread across clusters round-robin; the ledger
     // is single, so "cross-shard" has no meaning here.
@@ -68,7 +99,9 @@ void BM_ResilientDB(benchmark::State& state) {
     size_t txns = kTxnsPerShard * clusters;
     sim::Time start = w.simulator.now();
     for (size_t i = 0; i < txns; ++i) {
-      sys.Submit(static_cast<uint32_t>(i % clusters), gen.NextTransfer());
+      auto t = gen.NextTransfer();
+      tracker.Submitted(t.id);
+      sys.Submit(static_cast<uint32_t>(i % clusters), std::move(t));
     }
     bool ok =
         w.simulator.RunUntil([&] { return done >= txns; }, kDeadline);
@@ -76,6 +109,20 @@ void BM_ResilientDB(benchmark::State& state) {
         ok ? static_cast<double>(txns) /
                  (static_cast<double>(w.simulator.now() - start) / 1e6)
            : 0;
+
+    obs::Json params = obs::Json::Object();
+    params.Set("clusters", clusters);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("executed", sys.executed());
+    extra.Set("consensus_rounds",
+              w.metrics.CounterValue("shard.consensus_rounds"));
+    obs::GlobalBenchReport().AddSeries(
+        "ResilientDB/clusters=" + std::to_string(clusters),
+        std::move(params),
+        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
+                                          w.net.stats().messages_sent,
+                                          std::move(extra), &w.metrics));
   }
   state.counters["txn_per_simsec"] = throughput;
 }
@@ -87,4 +134,14 @@ BENCHMARK(BM_ResilientDB)->SWEEP->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E8Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("txns_per_shard", kTxnsPerShard);
+  c.Set("cross_shard_frac", 0.1);
+  c.Set("deadline_us", kDeadline);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e8_sharding", kSeed, E8Config());

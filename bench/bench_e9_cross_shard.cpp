@@ -10,7 +10,10 @@
 // Saguaro (LCA coordinator on a WAN-like tree). Expected shape: SharPer <
 // Saguaro < AHL in messages; Saguaro beats AHL on latency because nearby
 // fog coordinators replace the far-away committee.
+#include <string>
+
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "shard/sharper.h"
 #include "shard/two_phase.h"
 #include "workload/workload.h"
@@ -21,6 +24,7 @@ using namespace pbc;
 using bench::LatencyTracker;
 using bench::SimWorld;
 
+constexpr uint64_t kSeed = 9;
 constexpr uint32_t kShards = 4;
 constexpr int kTxns = 80;
 constexpr sim::Time kDeadline = 900'000'000;
@@ -34,19 +38,19 @@ void SetupWan(SimWorld* w, System* sys, bool root_is_far,
   if (!root_is_far) return;
   for (sim::NodeId far = far_base; far < far_base + far_count; ++far) {
     for (sim::NodeId other = 0; other < far_base; ++other) {
+      // SetLinkLatency installs both directions (WAN RTTs are symmetric).
       w->net.SetLinkLatency(far, other, {5000, 500});
-      w->net.SetLinkLatency(other, far, {5000, 500});
     }
   }
   (void)sys;
 }
 
 template <typename MakeSystem>
-void RunCross(benchmark::State& state, MakeSystem make) {
+void RunCross(benchmark::State& state, const char* label, MakeSystem make) {
   double cross_frac = static_cast<double>(state.range(0)) / 100.0;
   double latency = 0, msgs = 0, committed = 0;
   for (auto _ : state) {
-    SimWorld w(9);
+    SimWorld w(kSeed);
     auto sys = make(&w);
     LatencyTracker tracker(&w.simulator);
     size_t done = 0;
@@ -79,6 +83,23 @@ void RunCross(benchmark::State& state, MakeSystem make) {
     latency = tracker.MeanUs();
     msgs = static_cast<double>(w.net.stats().messages_sent) / kTxns;
     committed = ok ? 1 : 0;
+
+    shard::ExportShardStats(sys->stats(), &w.metrics);
+    obs::Json params = obs::Json::Object();
+    params.Set("cross_frac", cross_frac);
+    params.Set("shards", kShards);
+    obs::Json extra = obs::Json::Object();
+    extra.Set("completed", ok);
+    extra.Set("msgs_per_txn", msgs);
+    extra.Set("abort_rate", sys->stats().AbortRate());
+    extra.Set("consensus_rounds",
+              w.metrics.CounterValue("shard.consensus_rounds"));
+    obs::GlobalBenchReport().AddSeries(
+        std::string(label) + "/cross=" + std::to_string(state.range(0)),
+        std::move(params),
+        obs::BenchReport::StandardMetrics(
+            /*throughput_txn_per_s=*/0.0, tracker.hist(),
+            w.net.stats().messages_sent, std::move(extra), &w.metrics));
   }
   state.counters["latency_us"] = latency;
   state.counters["msgs_per_txn"] = msgs;
@@ -86,7 +107,7 @@ void RunCross(benchmark::State& state, MakeSystem make) {
 }
 
 void BM_AHL(benchmark::State& state) {
-  RunCross(state, [](SimWorld* w) {
+  RunCross(state, "AHL", [](SimWorld* w) {
     auto sys = std::make_unique<shard::TwoPhaseShardSystem>(
         &w->net, &w->registry, shard::TwoPhaseConfig::Ahl(kShards));
     // The reference committee sits "elsewhere": slow links to it.
@@ -96,14 +117,14 @@ void BM_AHL(benchmark::State& state) {
 }
 
 void BM_SharPer(benchmark::State& state) {
-  RunCross(state, [](SimWorld* w) {
+  RunCross(state, "SharPer", [](SimWorld* w) {
     return std::make_unique<shard::SharperSystem>(&w->net, &w->registry,
                                                   kShards);
   });
 }
 
 void BM_Saguaro(benchmark::State& state) {
-  RunCross(state, [](SimWorld* w) {
+  RunCross(state, "Saguaro", [](SimWorld* w) {
     auto sys = std::make_unique<shard::TwoPhaseShardSystem>(
         &w->net, &w->registry, shard::TwoPhaseConfig::Saguaro(kShards, 2));
     // Only the cloud ROOT (coordinator 0) is far; fog coordinators local.
@@ -120,4 +141,15 @@ BENCHMARK(BM_Saguaro)->SWEEP->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace {
+pbc::obs::Json E9Config() {
+  auto c = pbc::obs::Json::Object();
+  c.Set("shards", kShards);
+  c.Set("txns", kTxns);
+  c.Set("deadline_us", kDeadline);
+  c.Set("arrival_gap_us", 5000);
+  return c;
+}
+}  // namespace
+
+PBC_BENCH_MAIN("e9_cross_shard", kSeed, E9Config());

@@ -4,27 +4,44 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <map>
+#include <string>
 
 #include "consensus/cluster.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
 namespace pbc::bench {
 
-/// A simulated world with a fresh network + registry.
+/// A simulated world with a fresh network + registry. A metrics registry
+/// and trace log are attached up front, so every instrumented layer
+/// (simulator, network, consensus, sharding) records into `metrics` and
+/// `trace` when the build has PBC_ENABLE_OBS; without it they stay empty.
 struct SimWorld {
   explicit SimWorld(uint64_t seed, sim::Time base_latency_us = 500,
                     sim::Time jitter_us = 200)
-      : simulator(seed), net(&simulator) {
+      : seed(seed), simulator(seed), net(&simulator) {
     net.SetDefaultLatency({base_latency_us, jitter_us});
+    simulator.AttachMetrics(&metrics);
+    net.AttachObs(&metrics, &trace);
   }
+  uint64_t seed;
+  // Declared before simulator/net so they outlive them on destruction.
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
   sim::Simulator simulator;
   sim::Network net;
   crypto::KeyRegistry registry;
 };
 
-/// Tracks per-transaction submit→commit latency in simulated time.
+/// Tracks per-transaction submit→commit latency in simulated time,
+/// including a histogram for percentile reporting.
 class LatencyTracker {
  public:
   explicit LatencyTracker(sim::Simulator* simulator)
@@ -34,8 +51,10 @@ class LatencyTracker {
   void Committed(txn::TxnId id) {
     auto it = submit_.find(id);
     if (it == submit_.end()) return;
-    total_us_ += simulator_->now() - it->second;
+    uint64_t delta = simulator_->now() - it->second;
+    total_us_ += delta;
     ++count_;
+    hist_.Record(delta);
     submit_.erase(it);
   }
 
@@ -45,14 +64,65 @@ class LatencyTracker {
                              static_cast<double>(count_);
   }
   uint64_t count() const { return count_; }
+  const obs::Histogram& hist() const { return hist_; }
 
  private:
   sim::Simulator* simulator_;
   std::map<txn::TxnId, sim::Time> submit_;
+  obs::Histogram hist_;
   uint64_t total_us_ = 0;
   uint64_t count_ = 0;
 };
 
+/// Times `n` ops in a dedicated pass outside the google-benchmark loop
+/// (per-op chrono reads inside the hot loop would skew ns-scale rates)
+/// and emits one standard series row. The µs histogram feeds the schema's
+/// latency percentiles; the ns histogram in `extra` keeps the precision
+/// that sub-µs ops need.
+inline void SampleAndEmit(const std::string& name, size_t n,
+                          const std::function<void(size_t)>& op,
+                          obs::Json extra = obs::Json::Object()) {
+  obs::Histogram op_us, op_ns;
+  for (size_t i = 0; i < n; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    op(i);
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    op_ns.Record(ns);
+    op_us.Record(ns / 1000);
+  }
+  double secs = static_cast<double>(op_ns.sum()) / 1e9;
+  obs::Json params = obs::Json::Object();
+  params.Set("samples", n);
+  extra.Set("op_latency_ns", obs::ToJson(op_ns));
+  obs::GlobalBenchReport().AddSeries(
+      name, std::move(params),
+      obs::BenchReport::StandardMetrics(
+          secs == 0 ? 0.0 : static_cast<double>(n) / secs, op_us,
+          /*messages_sent=*/0, std::move(extra)));
+}
+
 }  // namespace pbc::bench
+
+/// Replaces BENCHMARK_MAIN() for the experiment binaries: configures the
+/// process-wide BenchReport, runs the registered benchmarks (which add
+/// series rows via obs::GlobalBenchReport().AddSeries), then writes
+/// BENCH_<bench_name>.json into the working directory.
+#define PBC_BENCH_MAIN(bench_name, bench_seed, config_expr)               \
+  int main(int argc, char** argv) {                                       \
+    ::pbc::obs::GlobalBenchReport().Configure((bench_name), (bench_seed), \
+                                              (config_expr));             \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    std::string path = ::pbc::obs::GlobalBenchReport().Write();           \
+    if (!path.empty()) {                                                  \
+      std::fprintf(stderr, "bench report: %s\n", path.c_str());           \
+    }                                                                     \
+    return 0;                                                             \
+  }
 
 #endif  // PBC_BENCH_BENCH_UTIL_H_

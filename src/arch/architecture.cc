@@ -1,6 +1,20 @@
 #include "arch/architecture.h"
 
+#include "obs/metrics.h"
+
 namespace pbc::arch {
+
+void Architecture::ExportMetrics(obs::MetricsRegistry* m) const {
+  if (m == nullptr) return;
+  m->GetCounter("arch.blocks")->Add(stats_.blocks);
+  m->GetCounter("arch.committed")->Add(stats_.committed);
+  m->GetCounter("arch.aborted")->Add(stats_.aborted);
+  m->GetCounter("arch.early_aborted")->Add(stats_.early_aborted);
+  m->GetCounter("arch.reordered")->Add(stats_.reordered);
+  m->GetCounter("arch.reexecuted")->Add(stats_.reexecuted);
+  m->GetCounter("arch.dag_edges")->Add(stats_.dag_edges);
+  m->GetCounter("arch.dag_levels")->Add(stats_.dag_levels);
+}
 
 void Architecture::AppendLedgerBlock(
     std::vector<txn::Transaction> effective) {

@@ -30,6 +30,10 @@
 #include "txn/executor.h"
 #include "txn/transaction.h"
 
+namespace pbc::obs {
+class MetricsRegistry;
+}  // namespace pbc::obs
+
 namespace pbc::arch {
 
 /// \brief Counters accumulated across processed blocks.
@@ -59,6 +63,10 @@ class Architecture {
   const store::KvStore& store() const { return store_; }
   const ledger::Chain& chain() const { return chain_; }
   const ArchStats& stats() const { return stats_; }
+
+  /// Dumps the cumulative ArchStats into `m` as "arch.*" counters (no-op
+  /// when `m` is nullptr). Used by the benches' JSON emitters.
+  void ExportMetrics(obs::MetricsRegistry* m) const;
 
  protected:
   /// Appends the given transactions as the next ledger block (no-op when

@@ -16,8 +16,13 @@ class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
-  /// Uniform in [0, n). n must be > 0.
+  /// Uniform in [0, n). Safe for n == 0: returns 0 without consuming
+  /// randomness. (Previously `n - 1` wrapped to UINT64_MAX, which is
+  /// undefined-range behavior for uniform_int_distribution; callers that
+  /// can legitimately pass 0 include zero timeout configs in raft/paxos,
+  /// zero-jitter links, and empty Zipfian/workload domains.)
   uint64_t NextU64(uint64_t n) {
+    if (n == 0) return 0;
     return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 crypto::Hash256 HsTreeNode::ComputeHash(const crypto::Hash256& parent,
@@ -91,6 +93,13 @@ void HotStuffReplica::ArmViewTimer() {
       return;
     }
     ++timeouts_;
+    // Only timeout-driven view advances are "view changes" in the PBFT
+    // sense; happy-path pipelining through EnterView is normal progress.
+    PBC_OBS_COUNT(network()->metrics(), "consensus.view_changes", 1);
+    PBC_OBS_COUNT(network()->metrics(), "hotstuff.view_changes", 1);
+    PBC_OBS_TRACE(network()->trace(), network()->now(),
+                  obs::TraceKind::kViewChange, id(), id(), "hs-timeout",
+                  view_ + 1);
     EnterView(view_ + 1);
   });
 }

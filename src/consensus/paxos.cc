@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 namespace {
@@ -19,6 +21,7 @@ void PaxosReplica::ArmLivenessTimer() {
   uint64_t epoch = ++timer_epoch_;
   uint64_t learned_then = last_learned_;
   // Randomized (like Raft's election timeout) so one proposer wins.
+  // NextU64 tolerates timeout_us == 0 by returning 0.
   sim::Time t = cfg_.timeout_us +
                 network()->simulator()->rng()->NextU64(cfg_.timeout_us);
   SetTimer(t, [this, epoch, learned_then] {
@@ -36,6 +39,11 @@ void PaxosReplica::ArmLivenessTimer() {
 
 void PaxosReplica::TryBecomeLeader() {
   ++round_;
+  PBC_OBS_COUNT(network()->metrics(), "consensus.view_changes", 1);
+  PBC_OBS_COUNT(network()->metrics(), "paxos.leader_attempts", 1);
+  PBC_OBS_TRACE(network()->trace(), network()->now(),
+                obs::TraceKind::kViewChange, id(), id(), "paxos-prepare",
+                round_);
   // Round must exceed any ballot seen, or our prepare is dead on arrival.
   while (MakeBallot(round_) <= promised_) ++round_;
   my_ballot_ = MakeBallot(round_);

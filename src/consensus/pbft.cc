@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 namespace {
@@ -253,6 +255,11 @@ void PbftReplica::StartViewChange(uint64_t target_view) {
   in_view_change_ = true;
   target_view_ = target_view;
   ++view_changes_;
+  PBC_OBS_COUNT(network()->metrics(), "consensus.view_changes", 1);
+  PBC_OBS_COUNT(network()->metrics(), "pbft.view_changes", 1);
+  PBC_OBS_TRACE(network()->trace(), network()->now(),
+                obs::TraceKind::kViewChange, id(), id(), "pbft-viewchange",
+                target_view);
 
   auto vc = std::make_shared<PbftViewChange>();
   vc->new_view = target_view;

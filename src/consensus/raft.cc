@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 RaftReplica::RaftReplica(sim::NodeId id, sim::Network* net,
@@ -14,6 +16,8 @@ void RaftReplica::OnStart() { ResetElectionTimer(); }
 void RaftReplica::ResetElectionTimer() {
   uint64_t epoch = ++election_epoch_;
   // Randomized timeout in [T, 2T) — the classic split-vote breaker.
+  // NextU64 tolerates timeout_us == 0 (degenerate immediate-timeout
+  // configs used in tests) by returning 0.
   sim::Time t = cfg_.timeout_us +
                 network()->simulator()->rng()->NextU64(cfg_.timeout_us);
   SetTimer(t, [this, epoch] {
@@ -26,6 +30,11 @@ void RaftReplica::OnElectionTimeout() {
   if (role_ == Role::kLeader) return;
   role_ = Role::kCandidate;
   ++term_;
+  PBC_OBS_COUNT(network()->metrics(), "consensus.view_changes", 1);
+  PBC_OBS_COUNT(network()->metrics(), "raft.elections", 1);
+  PBC_OBS_TRACE(network()->trace(), network()->now(),
+                obs::TraceKind::kViewChange, id(), id(), "raft-election",
+                term_);
   voted_for_ = id();
   votes_ = {id()};
   auto rv = std::make_shared<RaftRequestVote>();

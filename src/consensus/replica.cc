@@ -1,5 +1,7 @@
 #include "consensus/replica.h"
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 Replica::Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
@@ -11,6 +13,13 @@ Replica::Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
 
 void Replica::SubmitTransaction(txn::Transaction txn) {
   if (pool_ids_.count(txn.id) > 0 || committed_ids_.count(txn.id) > 0) return;
+#if PBC_OBS_ENABLED
+  // Commit-latency bookkeeping, only for metric-attached runs (the map
+  // stays empty otherwise and never influences protocol behavior).
+  if (network()->metrics() != nullptr) {
+    submit_time_us_.emplace(txn.id, network()->now());
+  }
+#endif
   pool_ids_.insert(txn.id);
   pool_.push_back(std::move(txn));
 }
@@ -62,6 +71,26 @@ void Replica::DeliverCommitted(uint64_t seq, Batch batch) {
       }
     }
     committed_txns_ += b.txns.size();
+#if PBC_OBS_ENABLED
+    if (network()->metrics() != nullptr) {
+      PBC_OBS_COUNT(network()->metrics(), "consensus.committed_txns",
+                    b.txns.size());
+      for (const auto& t : b.txns) {
+        auto sit = submit_time_us_.find(t.id);
+        if (sit != submit_time_us_.end()) {
+          PBC_OBS_HIST_RECORD(network()->metrics(),
+                              "consensus.commit_latency_us",
+                              network()->now() - sit->second);
+          submit_time_us_.erase(sit);
+        }
+      }
+    }
+    if (!b.txns.empty()) {
+      PBC_OBS_TRACE(network()->trace(), network()->now(),
+                    obs::TraceKind::kCommit, id(), id(), "batch",
+                    next_deliver_);
+    }
+#endif
     if (!b.txns.empty()) {
       ledger::Block block = ledger::Block::Make(
           chain_.height(), chain_.TipHash(), b.txns, /*timestamp_us=*/0);

@@ -80,6 +80,9 @@ class Replica : public sim::Node {
   std::set<txn::TxnId> committed_ids_;
 
   ledger::Chain chain_;
+  // Submit timestamps for commit-latency histograms; populated only when
+  // the network has a metrics registry attached (see replica.cc).
+  std::map<txn::TxnId, sim::Time> submit_time_us_;
   std::map<uint64_t, Batch> out_of_order_;
   uint64_t next_deliver_ = 1;
   uint64_t committed_txns_ = 0;

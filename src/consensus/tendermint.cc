@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbc::consensus {
 
 TendermintReplica::TendermintReplica(sim::NodeId id, sim::Network* net,
@@ -84,6 +86,13 @@ void TendermintReplica::Activate() {
 void TendermintReplica::StartRound(uint64_t round) {
   round_ = round;
   step_ = Step::kPropose;
+  if (round > 0) {
+    // Rounds past the first are Tendermint's view-change equivalent.
+    PBC_OBS_COUNT(network()->metrics(), "consensus.view_changes", 1);
+    PBC_OBS_COUNT(network()->metrics(), "tendermint.extra_rounds", 1);
+    PBC_OBS_TRACE(network()->trace(), network()->now(),
+                  obs::TraceKind::kViewChange, id(), id(), "tm-round", round);
+  }
   size_t proposer = ProposerIndexFor(height_, round_);
   if (cfg_.replicas[proposer] == id() &&
       byzantine_mode() != ByzantineMode::kSilent) {

@@ -1,0 +1,167 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace pbc::obs {
+
+namespace {
+const Json kNull;
+}  // namespace
+
+Json& Json::Set(const std::string& key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  type_ = Type::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+bool Json::Has(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::At(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  return kNull;
+}
+
+void Json::WriteEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void WriteNumber(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Integers (the common case: counters, timestamps) print exactly.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    os << static_cast<int64_t>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  os << buf;
+}
+
+void Indent(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::Write(std::ostream& os, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      WriteNumber(os, num_);
+      break;
+    case Type::kString:
+      WriteEscaped(os, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        Indent(os, indent + 2);
+        arr_[i].Write(os, indent + 2);
+        if (i + 1 < arr_.size()) os << ',';
+        os << '\n';
+      }
+      Indent(os, indent);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        Indent(os, indent + 2);
+        WriteEscaped(os, obj_[i].first);
+        os << ": ";
+        obj_[i].second.Write(os, indent + 2);
+        if (i + 1 < obj_.size()) os << ',';
+        os << '\n';
+      }
+      Indent(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::ostringstream os;
+  Write(os);
+  return os.str();
+}
+
+bool Json::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  Write(f);
+  f << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace pbc::obs

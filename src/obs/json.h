@@ -1,0 +1,93 @@
+// Minimal JSON document builder + writer (no external dependencies).
+//
+// Only what the observability layer needs: objects, arrays, strings,
+// numbers, booleans. Object keys keep insertion order so emitted files
+// are stable across runs and easy to diff.
+#ifndef PBC_OBS_JSON_H_
+#define PBC_OBS_JSON_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pbc::obs {
+
+/// \brief A JSON value. Copyable, cheap for the sizes we emit.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}               // NOLINT
+  Json(int i) : type_(Type::kNumber), num_(i) {}                  // NOLINT
+  Json(uint32_t u) : type_(Type::kNumber), num_(u) {}             // NOLINT
+  Json(int64_t i)                                                 // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(uint64_t u)                                                // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}          // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+
+  /// Object member set (insertion-ordered; resetting a key overwrites in
+  /// place). Returns *this for chaining.
+  Json& Set(const std::string& key, Json value);
+
+  /// Array append.
+  Json& Push(Json value);
+
+  bool Has(const std::string& key) const;
+  /// Object member get; null-typed reference if absent.
+  const Json& At(const std::string& key) const;
+
+  /// Mutable array element access (index must be < size()).
+  Json& operator[](size_t i) { return arr_[i]; }
+
+  size_t size() const {
+    return type_ == Type::kArray ? arr_.size()
+                                 : (type_ == Type::kObject ? obj_.size() : 0);
+  }
+  double number() const { return num_; }
+  const std::string& str() const { return str_; }
+  const std::vector<Json>& array() const { return arr_; }
+  const std::vector<std::pair<std::string, Json>>& object() const {
+    return obj_;
+  }
+
+  /// Serializes with 2-space indentation.
+  void Write(std::ostream& os, int indent = 0) const;
+  std::string Dump() const;
+
+  /// Writes `Dump()` to `path` (+ trailing newline). Returns success.
+  bool WriteFile(const std::string& path) const;
+
+  static void WriteEscaped(std::ostream& os, const std::string& s);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace pbc::obs
+
+#endif  // PBC_OBS_JSON_H_

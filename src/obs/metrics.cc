@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace pbc::obs {
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  // Highest set bit selects the octave; the next kSubBucketBits bits
+  // select the linear sub-bucket within it.
+  uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  uint32_t octave = msb - kSubBucketBits;  // msb >= kSubBucketBits here
+  uint32_t sub =
+      static_cast<uint32_t>(value >> octave) & (kSubBuckets - 1);
+  return (octave + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t index) {
+  if (index < kSubBuckets) return index;
+  uint32_t octave = index / kSubBuckets - 1;
+  uint32_t sub = index % kSubBuckets;
+  // Largest value mapping to this bucket.
+  return ((static_cast<uint64_t>(kSubBuckets + sub + 1)) << octave) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  uint32_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Never report beyond the observed maximum (the top bucket's upper
+      // bound can overshoot it by up to 12.5%).
+      uint64_t bound = BucketUpperBound(i);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonEmptyBuckets()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) out.emplace_back(BucketUpperBound(i), buckets_[i]);
+  }
+  return out;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::DebugString() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "counter " << name << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge " << name << " " << g.value() << " max " << g.max() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "hist " << name << " n " << h.count() << " sum " << h.sum()
+       << " p50 " << h.P50() << " p95 " << h.P95() << " p99 " << h.P99()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pbc::obs

@@ -1,0 +1,93 @@
+#include "obs/report.h"
+
+namespace pbc::obs {
+
+Json ToJson(const Histogram& h) {
+  Json j = Json::Object();
+  j.Set("count", h.count());
+  j.Set("sum", h.sum());
+  j.Set("min", h.min());
+  j.Set("max", h.max());
+  j.Set("mean", h.Mean());
+  j.Set("p50", h.P50());
+  j.Set("p95", h.P95());
+  j.Set("p99", h.P99());
+  return j;
+}
+
+Json ToJson(const MetricsRegistry& registry) {
+  Json counters = Json::Object();
+  for (const auto& [name, c] : registry.counters()) {
+    counters.Set(name, c.value());
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : registry.gauges()) {
+    Json entry = Json::Object();
+    entry.Set("value", g.value());
+    entry.Set("max", g.max());
+    gauges.Set(name, std::move(entry));
+  }
+  Json hists = Json::Object();
+  for (const auto& [name, h] : registry.histograms()) {
+    hists.Set(name, ToJson(h));
+  }
+  Json j = Json::Object();
+  j.Set("counters", std::move(counters));
+  if (gauges.size() > 0) j.Set("gauges", std::move(gauges));
+  if (hists.size() > 0) j.Set("histograms", std::move(hists));
+  return j;
+}
+
+void BenchReport::AddSeries(const std::string& series_name, Json params,
+                            Json metrics) {
+  Json row = Json::Object();
+  row.Set("name", series_name);
+  row.Set("params", std::move(params));
+  row.Set("metrics", std::move(metrics));
+  auto it = series_index_.find(series_name);
+  if (it != series_index_.end()) {
+    series_[it->second] = std::move(row);
+    return;
+  }
+  series_index_[series_name] = series_.size();
+  series_.Push(std::move(row));
+}
+
+Json BenchReport::StandardMetrics(double throughput_txn_per_s,
+                                  const Histogram& commit_latency_us,
+                                  uint64_t messages_sent, Json extra,
+                                  const MetricsRegistry* registry) {
+  Json m = Json::Object();
+  m.Set("throughput_txn_per_s", throughput_txn_per_s);
+  m.Set("commit_latency_p50_us", commit_latency_us.P50());
+  m.Set("commit_latency_p95_us", commit_latency_us.P95());
+  m.Set("commit_latency_p99_us", commit_latency_us.P99());
+  m.Set("commit_latency_mean_us", commit_latency_us.Mean());
+  m.Set("commit_latency_samples", commit_latency_us.count());
+  m.Set("messages_sent", messages_sent);
+  for (const auto& [k, v] : extra.object()) m.Set(k, v);
+  if (registry != nullptr) m.Set("registry", ToJson(*registry));
+  return m;
+}
+
+Json BenchReport::Build() const {
+  Json j = Json::Object();
+  j.Set("bench", name_);
+  j.Set("seed", seed_);
+  j.Set("config", config_);
+  j.Set("series", series_);
+  return j;
+}
+
+std::string BenchReport::Write(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  if (!Build().WriteFile(path)) return "";
+  return path;
+}
+
+BenchReport& GlobalBenchReport() {
+  static BenchReport report;
+  return report;
+}
+
+}  // namespace pbc::obs

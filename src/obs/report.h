@@ -1,0 +1,78 @@
+// Machine-readable benchmark output: every experiment binary builds one
+// `BenchReport` and writes `BENCH_<name>.json` on exit, giving all 12
+// experiments a uniform schema (cf. BLOCKBENCH's shared metric layer):
+//
+//   {
+//     "bench": "e4_consensus",
+//     "seed": 42,
+//     "config": { ...bench-wide constants... },
+//     "series": [
+//       { "name": "PBFT", "params": {"n": 4},
+//         "metrics": { "throughput_txn_per_s": ...,
+//                      "commit_latency_p50_us": ..., "..._p95_us": ...,
+//                      "..._p99_us": ..., "messages_sent": ..., ... } },
+//       ...
+//     ]
+//   }
+#ifndef PBC_OBS_REPORT_H_
+#define PBC_OBS_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace pbc::obs {
+
+/// \brief Json views of metrics objects.
+Json ToJson(const Histogram& h);
+Json ToJson(const MetricsRegistry& registry);
+
+/// \brief Accumulates series rows for one benchmark binary.
+class BenchReport {
+ public:
+  void Configure(std::string bench_name, uint64_t seed, Json config) {
+    name_ = std::move(bench_name);
+    seed_ = seed;
+    config_ = std::move(config);
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Adds one series row. `metrics` must at least carry throughput,
+  /// commit-latency percentiles and message counts — use StandardMetrics
+  /// to build it. Re-adding a name overwrites the previous row (google
+  /// benchmark may invoke a benchmark function more than once while
+  /// sizing iterations; the last run has the best data).
+  void AddSeries(const std::string& series_name, Json params, Json metrics);
+
+  /// Builds the canonical metrics object. `extra` members are merged in;
+  /// `registry`, when given, is embedded under "registry" (counters +
+  /// histogram percentiles from the attached simulation).
+  static Json StandardMetrics(double throughput_txn_per_s,
+                              const Histogram& commit_latency_us,
+                              uint64_t messages_sent,
+                              Json extra = Json::Object(),
+                              const MetricsRegistry* registry = nullptr);
+
+  Json Build() const;
+
+  /// Writes BENCH_<name>.json into `dir` (default: current directory).
+  /// Returns the path written, or empty on failure.
+  std::string Write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_ = "unnamed";
+  uint64_t seed_ = 0;
+  Json config_ = Json::Object();
+  Json series_ = Json::Array();
+  std::map<std::string, size_t> series_index_;
+};
+
+/// \brief Process-wide report used by the PBC_BENCH_MAIN macro.
+BenchReport& GlobalBenchReport();
+
+}  // namespace pbc::obs
+
+#endif  // PBC_OBS_REPORT_H_

@@ -1,0 +1,62 @@
+#include "obs/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace pbc::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "send";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kDrop:
+      return "drop";
+    case TraceKind::kCrash:
+      return "crash";
+    case TraceKind::kRecover:
+      return "recover";
+    case TraceKind::kPartition:
+      return "partition";
+    case TraceKind::kHeal:
+      return "heal";
+    case TraceKind::kCommit:
+      return "commit";
+    case TraceKind::kViewChange:
+      return "view-change";
+    case TraceKind::kTimerCancelled:
+      return "timer-cancelled";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (next_ <= events_.size()) {
+    out = events_;
+  } else {
+    // Ring has wrapped: oldest entry sits at next_ % capacity_.
+    size_t start = next_ % capacity_;
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void TraceLog::Dump(std::ostream& os) const {
+  for (const TraceEvent& ev : Snapshot()) {
+    os << "[" << ev.at_us << "] " << TraceKindName(ev.kind) << " " << ev.a
+       << "->" << ev.b << " " << ev.label << " " << ev.arg << "\n";
+  }
+}
+
+std::string TraceLog::DumpString() const {
+  std::ostringstream os;
+  Dump(os);
+  return os.str();
+}
+
+}  // namespace pbc::obs

@@ -1,0 +1,92 @@
+// Structured trace of simulator events, ring-buffered per run.
+//
+// Every interesting transition in a simulation — message send / deliver /
+// drop, node crash / recover, partition / heal, batch commit, view change,
+// timer cancellation — is recorded with its simulated timestamp. Tests
+// dump the tail on failure to show *how* a run reached a bad state; the
+// buffer is bounded so long runs stay O(capacity) in memory.
+#ifndef PBC_OBS_TRACE_H_
+#define PBC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pbc::obs {
+
+enum class TraceKind : uint8_t {
+  kSend,
+  kDeliver,
+  kDrop,
+  kCrash,
+  kRecover,
+  kPartition,
+  kHeal,
+  kCommit,
+  kViewChange,
+  kTimerCancelled,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// \brief One simulator event. `a`/`b` are node ids (sender/receiver for
+/// message events; b unused otherwise); `label` is a static string such as
+/// the message type tag; `arg` is kind-specific (byte size, sequence
+/// number, view number, …).
+struct TraceEvent {
+  uint64_t at_us = 0;
+  TraceKind kind = TraceKind::kSend;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  const char* label = "";
+  uint64_t arg = 0;
+};
+
+/// \brief Bounded ring buffer of trace events.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 4096) : capacity_(capacity) {
+    events_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  }
+
+  void Record(uint64_t at_us, TraceKind kind, uint32_t a, uint32_t b,
+              const char* label, uint64_t arg) {
+    if (capacity_ == 0) return;
+    TraceEvent ev{at_us, kind, a, b, label, arg};
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+    } else {
+      events_[next_ % capacity_] = ev;
+    }
+    ++next_;
+  }
+
+  /// Total events recorded, including those already overwritten.
+  uint64_t recorded() const { return next_; }
+  /// Events still held (<= capacity).
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Retained events in chronological order (oldest first).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Human-readable dump of the retained tail, one event per line:
+  ///   [timestamp_us] kind a->b label arg
+  void Dump(std::ostream& os) const;
+  std::string DumpString() const;
+
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t next_ = 0;  // index of the next slot to write, monotonically
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pbc::obs
+
+#endif  // PBC_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "shard/common.h"
 
+#include "obs/obs.h"
+
 namespace pbc::shard {
 
 ShardId KeyToShard(const store::Key& key, uint32_t num_shards) {
@@ -84,7 +86,8 @@ ShardCluster::ShardCluster(ShardId id, sim::Network* net,
                            sim::NodeId base_node_id,
                            consensus::ClusterConfig config)
     : id_(id),
-      gateway_id_(base_node_id + static_cast<sim::NodeId>(replicas_per_shard)) {
+      gateway_id_(base_node_id + static_cast<sim::NodeId>(replicas_per_shard)),
+      net_(net) {
   cluster_ = std::make_unique<consensus::Cluster<consensus::PbftReplica>>(
       net, registry, replicas_per_shard, config, base_node_id);
   // The gateway observes every replica's commit stream and deduplicates:
@@ -101,6 +104,9 @@ ShardCluster::ShardCluster(ShardId id, sim::Network* net,
 void ShardCluster::OrderAndThen(
     txn::Transaction marker,
     std::function<void(const txn::Transaction&)> then) {
+  // Every cross/intra-shard protocol step costs one intra-cluster
+  // consensus round; the counter makes that cost visible per run.
+  PBC_OBS_COUNT(net_->metrics(), "shard.consensus_rounds", 1);
   pending_[marker.id] = std::move(then);
   cluster_->Submit(marker);
 }

@@ -90,6 +90,7 @@ class ShardCluster {
 
   ShardId id_;
   sim::NodeId gateway_id_;
+  sim::Network* net_;
   std::unique_ptr<consensus::Cluster<consensus::PbftReplica>> cluster_;
   store::KvStore store_;
   store::LockTable locks_;

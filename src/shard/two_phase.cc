@@ -1,6 +1,17 @@
 #include "shard/two_phase.h"
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace pbc::shard {
+
+void ExportShardStats(const ShardStats& stats, obs::MetricsRegistry* m) {
+  if (m == nullptr) return;
+  m->GetCounter("shard.intra_committed")->Add(stats.intra_committed);
+  m->GetCounter("shard.intra_aborted")->Add(stats.intra_aborted);
+  m->GetCounter("shard.cross_committed")->Add(stats.cross_committed);
+  m->GetCounter("shard.cross_aborted")->Add(stats.cross_aborted);
+}
 
 namespace {
 
@@ -189,6 +200,7 @@ void TwoPhaseShardSystem::Submit(txn::Transaction txn) {
 
 void TwoPhaseShardSystem::CoordinatorBegin(uint32_t coord,
                                            txn::Transaction txn) {
+  PBC_OBS_COUNT(net_->metrics(), "shard.2pc.begin_rounds", 1);
   CrossTxn state;
   state.involved = ShardsOf(txn, config_.num_shards);
   state.coordinator = coord;
@@ -216,6 +228,7 @@ void TwoPhaseShardSystem::CoordinatorBegin(uint32_t coord,
 void TwoPhaseShardSystem::ShardOnPrepare(ShardId s,
                                          const txn::Transaction& txn,
                                          uint32_t coord) {
+  PBC_OBS_COUNT(net_->metrics(), "shard.2pc.prepare_rounds", 1);
   shard_pending_[txn.id] = txn;
   ShardCluster* shard = shards_[s].get();
   txn::TxnId id = txn.id;
@@ -259,6 +272,7 @@ void TwoPhaseShardSystem::CoordinatorOnVote(uint32_t coord, txn::TxnId id,
   bool commit = true;
   for (const auto& [shard_id, vote] : state.votes) commit &= vote;
   state.decided = true;
+  PBC_OBS_COUNT(net_->metrics(), "shard.2pc.decide_rounds", 1);
 
   ShardCluster* cc = coordinators_[coord].get();
   cc->OrderAndThen(

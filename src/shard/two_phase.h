@@ -25,6 +25,10 @@
 
 #include "shard/common.h"
 
+namespace pbc::obs {
+class MetricsRegistry;
+}  // namespace pbc::obs
+
 namespace pbc::shard {
 
 /// \brief Outcome callback: (transaction id, committed?).
@@ -36,7 +40,18 @@ struct ShardStats {
   uint64_t intra_aborted = 0;  ///< blocked by a cross-shard lock
   uint64_t cross_committed = 0;
   uint64_t cross_aborted = 0;
+
+  uint64_t aborted() const { return intra_aborted + cross_aborted; }
+  uint64_t committed() const { return intra_committed + cross_committed; }
+  /// Aborted fraction of all finished transactions (0 when none finished).
+  double AbortRate() const {
+    uint64_t total = committed() + aborted();
+    return total == 0 ? 0.0 : static_cast<double>(aborted()) / total;
+  }
 };
+
+/// \brief Dumps `stats` into `m` as "shard.*" counters (no-op on nullptr).
+void ExportShardStats(const ShardStats& stats, obs::MetricsRegistry* m);
 
 /// \brief Configuration: shard clusters + coordinator tree.
 struct TwoPhaseConfig {

@@ -1,5 +1,9 @@
 #include "sim/network.h"
 
+#include <string>
+
+#include "obs/obs.h"
+
 namespace pbc::sim {
 
 Node::Node(NodeId id, Network* net) : id_(id), net_(net) {
@@ -9,8 +13,17 @@ Node::Node(NodeId id, Network* net) : id_(id), net_(net) {
 void Node::SetTimer(Time delay, std::function<void()> fn) {
   Network* net = net_;
   NodeId id = id_;
-  net_->simulator()->Schedule(delay, [net, id, fn = std::move(fn)] {
-    if (!net->IsCrashed(id)) fn();
+  // Capture the crash epoch at arming time: a timer armed before a crash
+  // must not fire after a crash-recover cycle (the node's pre-crash
+  // schedule died with it).
+  uint64_t epoch = net_->CrashEpoch(id_);
+  net_->simulator()->Schedule(delay, [net, id, epoch, fn = std::move(fn)] {
+    if (net->IsCrashed(id) || net->CrashEpoch(id) != epoch) {
+      PBC_OBS_TRACE(net->trace(), net->now(), obs::TraceKind::kTimerCancelled,
+                    id, id, "stale-epoch", epoch);
+      return;
+    }
+    fn();
   });
 }
 
@@ -30,7 +43,13 @@ void Network::Start() {
   }
 }
 
-void Network::SetLinkLatency(NodeId from, NodeId to, LinkLatency latency) {
+void Network::SetLinkLatency(NodeId a, NodeId b, LinkLatency latency) {
+  SetDirectionalLinkLatency(a, b, latency);
+  SetDirectionalLinkLatency(b, a, latency);
+}
+
+void Network::SetDirectionalLinkLatency(NodeId from, NodeId to,
+                                        LinkLatency latency) {
   link_latency_[(static_cast<uint64_t>(from) << 32) | to] = latency;
 }
 
@@ -40,24 +59,70 @@ LinkLatency Network::LatencyFor(NodeId from, NodeId to) const {
   return default_latency_;
 }
 
+bool Network::CrossGroup(const std::unordered_map<NodeId, int>& partition,
+                         NodeId from, NodeId to) {
+  if (from == to) return false;
+  auto fi = partition.find(from);
+  auto ti = partition.find(to);
+  // Nodes not listed in any group are isolated.
+  if (fi == partition.end() || ti == partition.end()) return true;
+  return fi->second != ti->second;
+}
+
 bool Network::CanDeliver(NodeId from, NodeId to) const {
   if (crashed_.count(to) > 0 || crashed_.count(from) > 0) return false;
-  if (partitioned_) {
-    auto fi = partition_.find(from);
-    auto ti = partition_.find(to);
-    // Nodes not listed in any group are isolated.
-    if (fi == partition_.end() || ti == partition_.end()) return false;
-    if (fi->second != ti->second) return false;
-  }
+  if (partitioned_ && CrossGroup(partition_, from, to)) return false;
   return true;
+}
+
+void Network::CountDrop(NodeId from, NodeId to, const Message& msg,
+                        [[maybe_unused]] const char* reason) {
+  ++stats_.messages_dropped;
+  PBC_OBS_COUNT(metrics_, "net.dropped", 1);
+  PBC_OBS_COUNT(metrics_, std::string("net.dropped.") + reason, 1);
+  PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kDrop, from, to, msg.type(),
+                msg.ByteSize());
+}
+
+void Network::Crash(NodeId id) {
+  if (crashed_.insert(id).second) {
+    ++crash_epoch_[id];
+    PBC_OBS_COUNT(metrics_, "net.crashes", 1);
+    PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kCrash, id, id, "",
+                  crash_epoch_[id]);
+  }
+}
+
+void Network::Recover(NodeId id) {
+  if (crashed_.erase(id) > 0) {
+    PBC_OBS_COUNT(metrics_, "net.recoveries", 1);
+    PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kRecover, id, id, "",
+                  CrashEpoch(id));
+  }
 }
 
 void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg->ByteSize();
+  PBC_OBS_COUNT(metrics_, "net.sent", 1);
+  PBC_OBS_COUNT(metrics_, "net.bytes_sent", msg->ByteSize());
+  PBC_OBS_COUNT(metrics_, std::string("net.sent.") + msg->type(), 1);
+  PBC_OBS_COUNT(metrics_,
+                "net.link." + std::to_string(from) + "->" +
+                    std::to_string(to) + ".sent",
+                1);
+  PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kSend, from, to, msg->type(),
+                msg->ByteSize());
+
+  // A link severed by an active partition carries nothing: drop at send
+  // time so a later Heal() cannot resurrect the message.
+  if (partitioned_ && CrossGroup(partition_, from, to)) {
+    CountDrop(from, to, *msg, "partition");
+    return;
+  }
 
   if (from != to && drop_rate_ > 0.0 && sim_->rng()->Bernoulli(drop_rate_)) {
-    ++stats_.messages_dropped;
+    CountDrop(from, to, *msg, "loss");
     return;
   }
 
@@ -67,17 +132,32 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
                     : sim_->rng()->NextU64(lat.jitter_us + 1);
   Time delay = lat.base_us + jitter;
 
-  sim_->Schedule(delay, [this, from, to, msg = std::move(msg)] {
+  uint64_t cuts_at_send = partition_cuts_;
+  sim_->Schedule(delay, [this, from, to, cuts_at_send,
+                         msg = std::move(msg)] {
+    // A partition was cut while this message was in flight: if it severed
+    // this link, the message died on the wire — even if the partition has
+    // since healed.
+    if (partition_cuts_ != cuts_at_send &&
+        CrossGroup(last_partition_, from, to)) {
+      CountDrop(from, to, *msg, "partition");
+      return;
+    }
     if (!CanDeliver(from, to)) {
-      ++stats_.messages_dropped;
+      CountDrop(from, to, *msg, crashed_.count(to) || crashed_.count(from)
+                                    ? "crash"
+                                    : "partition");
       return;
     }
     auto it = nodes_.find(to);
     if (it == nodes_.end()) {
-      ++stats_.messages_dropped;
+      CountDrop(from, to, *msg, "unknown-node");
       return;
     }
     ++stats_.messages_delivered;
+    PBC_OBS_COUNT(metrics_, "net.delivered", 1);
+    PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kDeliver, from, to,
+                  msg->type(), msg->ByteSize());
     it->second->OnMessage(from, msg);
   });
 }
@@ -90,6 +170,18 @@ void Network::Partition(const std::vector<std::vector<NodeId>>& groups) {
     ++group_index;
   }
   partitioned_ = true;
+  last_partition_ = partition_;
+  ++partition_cuts_;
+  PBC_OBS_COUNT(metrics_, "net.partitions", 1);
+  PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kPartition, 0, 0, "",
+                groups.size());
+}
+
+void Network::Heal() {
+  partition_.clear();
+  partitioned_ = false;
+  PBC_OBS_COUNT(metrics_, "net.heals", 1);
+  PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kHeal, 0, 0, "", 0);
 }
 
 }  // namespace pbc::sim

@@ -2,7 +2,20 @@
 //
 // Message complexity is the currency of the survey's consensus trade-offs
 // (PBFT quadratic vs HotStuff linear; cross-shard phase counts), so the
-// network counts every send and exposes the counters to benchmarks.
+// network counts every send and exposes the counters to benchmarks. With
+// an attached obs::MetricsRegistry / obs::TraceLog (see obs/obs.h) it
+// additionally records per-message-type counters, per-link traffic, and a
+// structured trace of every send/deliver/drop/crash/partition event.
+//
+// Fault-injection semantics (tested in sim_test.cpp):
+//  * Crash(id) starts a new crash epoch for the node: pending timers armed
+//    before the crash never fire, even if the node recovers before their
+//    deadline. Messages to/from a crashed node are dropped at delivery
+//    time.
+//  * Partition(groups) severs in-flight traffic: a message that crosses
+//    group boundaries is dropped even if it was sent before the partition
+//    or would be delivered after Heal() — healing restores the link, it
+//    does not resurrect datagrams that were on the wire when it was cut.
 #ifndef PBC_SIM_NETWORK_H_
 #define PBC_SIM_NETWORK_H_
 
@@ -13,6 +26,11 @@
 #include <vector>
 
 #include "sim/simulator.h"
+
+namespace pbc::obs {
+class MetricsRegistry;
+class TraceLog;
+}  // namespace pbc::obs
 
 namespace pbc::sim {
 
@@ -52,8 +70,10 @@ class Node {
   /// Called on message delivery. Never invoked on crashed nodes.
   virtual void OnMessage(NodeId from, const MessagePtr& msg) = 0;
 
-  /// Schedules `fn` after `delay`; silently dropped if this node has
-  /// crashed by firing time.
+  /// Schedules `fn` after `delay`. The timer is cancelled if this node is
+  /// crashed at firing time OR has crashed at any point since the timer
+  /// was armed (a crash-recover cycle wipes pending timers — a recovered
+  /// node re-arms its own timers from OnStart/OnMessage).
   void SetTimer(Time delay, std::function<void()> fn);
 
  protected:
@@ -91,8 +111,15 @@ class Network {
   /// Default latency for links without an override.
   void SetDefaultLatency(LinkLatency latency) { default_latency_ = latency; }
 
-  /// Per-link latency override (e.g. WAN links between distant clusters).
-  void SetLinkLatency(NodeId from, NodeId to, LinkLatency latency);
+  /// Per-link latency override, applied to BOTH directions (links are
+  /// symmetric by default — e.g. one WAN round trip between distant
+  /// clusters costs the same either way).
+  void SetLinkLatency(NodeId a, NodeId b, LinkLatency latency);
+
+  /// One-direction override for deliberately asymmetric links (e.g. a
+  /// saturated uplink). Overrides set here win over SetLinkLatency for
+  /// that direction only.
+  void SetDirectionalLinkLatency(NodeId from, NodeId to, LinkLatency latency);
 
   /// Fraction of messages silently dropped (both directions).
   void SetDropRate(double rate) { drop_rate_ = rate; }
@@ -103,19 +130,40 @@ class Network {
 
   /// --- Fault injection -------------------------------------------------
 
-  /// Crash-stop: the node receives no further messages or timers.
-  void Crash(NodeId id) { crashed_.insert(id); }
-  /// Recovers a crashed node (it keeps its pre-crash state).
-  void Recover(NodeId id) { crashed_.erase(id); }
+  /// Crash-stop: the node receives no further messages or timers, and all
+  /// timers armed before the crash are cancelled permanently (they stay
+  /// dead across a later Recover()).
+  void Crash(NodeId id);
+  /// Recovers a crashed node (it keeps its pre-crash state, but not its
+  /// pre-crash timers).
+  void Recover(NodeId id);
   bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
 
-  /// Partitions the network into groups; messages across groups are
-  /// dropped until Heal(). Nodes absent from all groups are isolated.
+  /// Number of times the node has crashed; timers armed in an older epoch
+  /// never fire.
+  uint64_t CrashEpoch(NodeId id) const {
+    auto it = crash_epoch_.find(id);
+    return it == crash_epoch_.end() ? 0 : it->second;
+  }
+
+  /// Partitions the network into groups; messages across groups — whether
+  /// sent later or already in flight — are dropped until Heal(). Nodes
+  /// absent from all groups are isolated.
   void Partition(const std::vector<std::vector<NodeId>>& groups);
-  void Heal() { partition_.clear(); partitioned_ = false; }
+  void Heal();
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
+
+  /// Attaches optional observability sinks (either may be nullptr). The
+  /// network never reads them for protocol decisions, so attaching cannot
+  /// change a run's behavior.
+  void AttachObs(obs::MetricsRegistry* metrics, obs::TraceLog* trace) {
+    metrics_ = metrics;
+    trace_ = trace;
+  }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::TraceLog* trace() const { return trace_; }
 
   size_t num_nodes() const { return nodes_.size(); }
   Node* node(NodeId id) const {
@@ -126,16 +174,31 @@ class Network {
  private:
   bool CanDeliver(NodeId from, NodeId to) const;
   LinkLatency LatencyFor(NodeId from, NodeId to) const;
+  /// True when `from`/`to` are in different groups of `partition` (nodes
+  /// absent from every group are isolated).
+  static bool CrossGroup(const std::unordered_map<NodeId, int>& partition,
+                         NodeId from, NodeId to);
+  void CountDrop(NodeId from, NodeId to, const Message& msg,
+                 const char* reason);
 
   Simulator* sim_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::set<NodeId> crashed_;
+  std::unordered_map<NodeId, uint64_t> crash_epoch_;
   LinkLatency default_latency_;
   std::unordered_map<uint64_t, LinkLatency> link_latency_;  // (from<<32)|to
   double drop_rate_ = 0.0;
   bool partitioned_ = false;
   std::unordered_map<NodeId, int> partition_;  // node -> group
+  // Most recent partition layout, kept across Heal() so deliveries can
+  // tell whether a cut happened while they were in flight.
+  std::unordered_map<NodeId, int> last_partition_;
+  uint64_t partition_cuts_ = 0;  // incremented by every Partition() call
   NetworkStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+
+  friend class Node;  // timers consult crash epochs
 };
 
 }  // namespace pbc::sim

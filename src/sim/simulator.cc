@@ -1,9 +1,12 @@
 #include "sim/simulator.h"
 
+#include "obs/obs.h"
+
 namespace pbc::sim {
 
 void Simulator::Schedule(Time delay, std::function<void()> fn) {
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  PBC_OBS_GAUGE_SET(metrics_, "sim.queue_depth", queue_.size());
 }
 
 bool Simulator::Step() {
@@ -14,6 +17,7 @@ bool Simulator::Step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  PBC_OBS_COUNT(metrics_, "sim.events", 1);
   ev.fn();
   return true;
 }

@@ -14,6 +14,10 @@
 
 #include "common/rng.h"
 
+namespace pbc::obs {
+class MetricsRegistry;
+}  // namespace pbc::obs
+
 namespace pbc::sim {
 
 /// Simulated time in microseconds.
@@ -26,6 +30,12 @@ class Simulator {
 
   Time now() const { return now_; }
   Rng* rng() { return &rng_; }
+
+  /// Attaches an optional metrics sink (may be nullptr to detach). When
+  /// set, the simulator maintains "sim.events" and the "sim.queue_depth"
+  /// high-watermark gauge. Observation only — never affects scheduling.
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Schedules `fn` to run `delay` microseconds from now. Ties are broken
   /// by insertion order (FIFO), which keeps runs deterministic.
@@ -63,6 +73,7 @@ class Simulator {
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
 };

@@ -210,6 +210,132 @@ TEST(NetworkTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run(42), run(42));
 }
 
+// --- Fault-injection edge cases --------------------------------------------
+
+TEST(NetworkTest, TimerArmedBeforeCrashNeverFiresAfterRecover) {
+  // Regression: a timer armed pre-crash used to fire if the node recovered
+  // before its deadline, resurrecting stale protocol state. Crash epochs
+  // cancel it permanently.
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net);
+  int fired = 0;
+  a.SetTimer(100, [&] { fired++; });
+  sim.Schedule(10, [&] { net.Crash(0); });
+  sim.Schedule(20, [&] { net.Recover(0); });
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(net.CrashEpoch(0), 1u);
+}
+
+TEST(NetworkTest, TimerArmedAfterRecoverFires) {
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net);
+  int fired = 0;
+  net.Crash(0);
+  net.Recover(0);
+  a.SetTimer(100, [&] { fired++; });
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(NetworkTest, TimerSpanningTwoCrashEpochsStaysDead) {
+  // Crash-recover-crash-recover: a timer from epoch 0 must not fire in
+  // epoch 2 either.
+  Simulator sim(1);
+  Network net(&sim);
+  EchoNode a(0, &net);
+  int fired = 0;
+  a.SetTimer(200, [&] { fired++; });
+  sim.Schedule(10, [&] { net.Crash(0); });
+  sim.Schedule(20, [&] { net.Recover(0); });
+  sim.Schedule(30, [&] { net.Crash(0); });
+  sim.Schedule(40, [&] { net.Recover(0); });
+  sim.RunAll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(net.CrashEpoch(0), 2u);
+}
+
+TEST(NetworkTest, PartitionDropsInFlightCrossGroupMessage) {
+  // A message sent before the partition but still on the wire when the
+  // cut happens must be dropped, not delivered late.
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({100, 0});
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(1));
+  sim.Schedule(50, [&] { net.Partition({{0}, {1}}); });
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(NetworkTest, HealDoesNotResurrectInFlightMessage) {
+  // Partition cuts the wire; healing before the scheduled delivery time
+  // must not bring the datagram back.
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({100, 0});
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(1));
+  sim.Schedule(30, [&] { net.Partition({{0}, {1}}); });
+  sim.Schedule(60, [&] { net.Heal(); });
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  // Fresh traffic after the heal flows normally.
+  net.Send(0, 1, Ping(2));
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{2});
+}
+
+TEST(NetworkTest, InFlightWithinGroupSurvivesPartition) {
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({100, 0});
+  EchoNode a(0, &net), b(1, &net), c(2, &net);
+  net.Send(0, 1, Ping(1));  // same group once partitioned
+  sim.Schedule(50, [&] { net.Partition({{0, 1}, {2}}); });
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{1});
+}
+
+TEST(NetworkTest, SetLinkLatencyIsSymmetric) {
+  // Regression: SetLinkLatency(a, b) used to install only the a→b
+  // direction, so "WAN" benches accidentally modelled asymmetric links.
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({10, 0});
+  net.SetLinkLatency(0, 1, {1000, 0});
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(1));
+  net.Send(1, 0, Ping(2));
+  sim.Run(500);
+  EXPECT_TRUE(a.received.empty());  // reverse direction is also slow
+  EXPECT_TRUE(b.received.empty());
+  sim.RunAll();
+  EXPECT_EQ(a.received, std::vector<int>{2});
+  EXPECT_EQ(b.received, std::vector<int>{1});
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(NetworkTest, DirectionalLatencyOverridesOneDirection) {
+  Simulator sim(1);
+  Network net(&sim);
+  net.SetDefaultLatency({10, 0});
+  net.SetLinkLatency(0, 1, {1000, 0});
+  net.SetDirectionalLinkLatency(1, 0, {50, 0});  // fast downlink only
+  EchoNode a(0, &net), b(1, &net);
+  net.Send(0, 1, Ping(1));
+  net.Send(1, 0, Ping(2));
+  sim.Run(100);
+  EXPECT_EQ(a.received, std::vector<int>{2});  // 50us direction
+  EXPECT_TRUE(b.received.empty());             // still 1000us
+  sim.RunAll();
+  EXPECT_EQ(b.received, std::vector<int>{1});
+}
+
 // --- Attested log ----------------------------------------------------------
 
 TEST(AttestedLogTest, AttestAndVerify) {
