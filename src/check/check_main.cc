@@ -1,0 +1,172 @@
+// check_runner: seed-sweep driver for the simulation-testing subsystem.
+//
+// Examples:
+//   check_runner --seeds 200 --protocol all --nemesis crash,partition
+//   check_runner --protocol raft --nemesis crash --seeds 1 --seed-base 17
+//   check_runner --protocol pbft --nemesis byzantine --mutate-quorum 1
+//
+// --nemesis takes ONE profile (a CSV of fault classes); pass several
+// profiles as separate cells with ';': --nemesis "crash;crash,partition".
+// Exit status: 0 = no invariant violated, 1 = violations, 2 = bad usage.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: check_runner [options]\n"
+      "  --protocol P[,P...]   pbft|raft|hotstuff|tendermint|paxos|sharper"
+      "|ahl|all (default all)\n"
+      "  --nemesis PROF[;PROF] fault profile(s); each PROF is a CSV of\n"
+      "                        crash,partition,delay,byzantine|none"
+      " (default crash)\n"
+      "  --seeds N             seeds per grid cell (default 20)\n"
+      "  --seed-base N         first seed (default 0)\n"
+      "  --cluster-size N[,N]  replicas per cluster (default 4)\n"
+      "  --num-shards N        shards for sharper/ahl (default 2)\n"
+      "  --txns N              client transactions per run (default 40)\n"
+      "  --mutate-quorum N     TEST-ONLY quorum slack; sweeps must catch\n"
+      "  --no-shrink           report failures without shrinking\n"
+      "  --shrink-budget N     max replays per failure (default 32)\n"
+      "  --report PATH         write the JSON report to PATH\n"
+      "  --quiet               no per-run progress lines\n");
+}
+
+std::vector<std::string> SplitList(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pbc::check::SweepOptions options;
+  std::string report_path;
+  bool quiet = false;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "check_runner: %s needs a value\n", argv[i]);
+      Usage();
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--protocol")) {
+      options.protocols = SplitList(need_value(i++), ',');
+    } else if (!std::strcmp(arg, "--nemesis")) {
+      options.nemeses = SplitList(need_value(i++), ';');
+    } else if (!std::strcmp(arg, "--seeds")) {
+      options.seeds = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--seed-base")) {
+      options.seed_base = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--cluster-size")) {
+      options.cluster_sizes.clear();
+      for (const std::string& s : SplitList(need_value(i++), ',')) {
+        options.cluster_sizes.push_back(std::strtoull(s.c_str(), nullptr, 10));
+      }
+    } else if (!std::strcmp(arg, "--num-shards")) {
+      options.num_shards =
+          static_cast<uint32_t>(std::strtoul(need_value(i++), nullptr, 10));
+    } else if (!std::strcmp(arg, "--txns")) {
+      options.txns = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--mutate-quorum")) {
+      options.quorum_slack =
+          static_cast<uint32_t>(std::strtoul(need_value(i++), nullptr, 10));
+    } else if (!std::strcmp(arg, "--no-shrink")) {
+      options.shrink = false;
+    } else if (!std::strcmp(arg, "--shrink-budget")) {
+      options.shrink_budget = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--report")) {
+      report_path = need_value(i++);
+    } else if (!std::strcmp(arg, "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "check_runner: unknown flag %s\n", arg);
+      Usage();
+      return 2;
+    }
+  }
+  if (options.seeds == 0 || options.protocols.empty() ||
+      options.nemeses.empty() || options.cluster_sizes.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  pbc::check::ProgressFn progress;
+  if (!quiet) {
+    progress = [](const pbc::check::RunConfig& cfg,
+                  const pbc::check::RunResult& result) {
+      std::fprintf(stderr, "[%s] %-10s n=%zu nemesis=%-24s seed=%llu%s\n",
+                   result.ok() ? (result.live ? "ok" : "OK*") : "VIOLATION",
+                   cfg.protocol.c_str(), cfg.cluster_size,
+                   cfg.nemesis.c_str(),
+                   static_cast<unsigned long long>(cfg.seed),
+                   result.live ? "" : " (not live)");
+    };
+  }
+  pbc::check::SweepReport report =
+      pbc::check::RunSweep(options, progress);
+  auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+
+  std::printf("check_runner: %zu runs, %zu live, %zu violating (%lld ms)\n",
+              report.runs, report.live_runs, report.failures.size(),
+              static_cast<long long>(wall_ms));
+  for (const std::string& line : report.not_live) {
+    std::printf("  not live (no violation): %s\n", line.c_str());
+  }
+  for (const pbc::check::SweepFailure& f : report.failures) {
+    std::printf("VIOLATION  repro: %s\n", f.config.ReproLine().c_str());
+    for (const pbc::check::Violation& v : f.violations) {
+      std::printf("  [%s] %s (t=%llu us)\n", v.invariant.c_str(),
+                  v.detail.c_str(), static_cast<unsigned long long>(v.at));
+    }
+    std::printf("  shrunk to %zu window(s) in %zu replay(s): %s\n",
+                f.shrunk_windows.size(), f.shrink_replays,
+                f.shrunk_schedule.empty()
+                    ? "(empty schedule — fails fault-free)"
+                    : f.shrunk_schedule.Describe().c_str());
+  }
+
+  if (!report_path.empty()) {
+    // wall_ms is the only nondeterministic field; everything under
+    // "report" is a pure function of the sweep options.
+    pbc::obs::Json doc =
+        pbc::obs::Json::Object()
+            .Set("tool", "check_runner")
+            .Set("wall_ms", static_cast<uint64_t>(wall_ms))
+            .Set("report", report.ToJson());
+    if (!doc.WriteFile(report_path)) {
+      std::fprintf(stderr, "check_runner: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}

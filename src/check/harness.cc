@@ -1,0 +1,472 @@
+#include "check/harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "consensus/cluster.h"
+#include "consensus/hotstuff.h"
+#include "consensus/paxos.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "consensus/tendermint.h"
+#include "shard/sharper.h"
+#include "shard/two_phase.h"
+#include "txn/transaction.h"
+
+namespace pbc::check {
+
+namespace {
+
+constexpr sim::Time kConsensusHorizon = 60'000'000;
+constexpr sim::Time kShardHorizon = 300'000'000;
+constexpr sim::Time kCheckInterval = 500'000;
+
+bool IsSharded(const std::string& protocol) {
+  return protocol == "sharper" || protocol == "ahl";
+}
+
+sim::Time HorizonFor(const RunConfig& cfg) {
+  if (cfg.horizon_us != 0) return cfg.horizon_us;
+  return IsSharded(cfg.protocol) ? kShardHorizon : kConsensusHorizon;
+}
+
+/// Stable 64-bit mix of every run-determining field, so distinct configs
+/// never share a simulator seed stream.
+uint64_t MixSeed(const RunConfig& cfg) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  for (char c : cfg.protocol) mix(static_cast<uint64_t>(c));
+  for (char c : cfg.nemesis) mix(static_cast<uint64_t>(c));
+  mix(cfg.cluster_size);
+  mix(cfg.num_shards);
+  mix(cfg.txns);
+  mix(cfg.quorum_slack);
+  mix(cfg.seed);
+  return h;
+}
+
+struct World {
+  explicit World(uint64_t seed) : sim(seed), net(&sim) {
+    net.SetDefaultLatency(kDefaultLatency);
+  }
+  static constexpr sim::LinkLatency kDefaultLatency{500, 200};
+  sim::Simulator sim;
+  sim::Network net;
+  crypto::KeyRegistry registry;
+};
+
+void FillResult(RunResult* result, const CheckerSuite& suite, const World& w,
+                NemesisSchedule schedule) {
+  result->violations = suite.violations();
+  result->coverage = suite.coverage();
+  result->sim_events = w.sim.executed_events();
+  result->sim_end_us = w.sim.now();
+  result->schedule = std::move(schedule);
+}
+
+// --- Consensus-cluster runs ------------------------------------------------
+
+/// Balanced-transfer workload: txn i moves an amount between two of a few
+/// accounts via paired increments, so the model total stays 0 at every
+/// point and conservation can be checked continuously.
+txn::Transaction TransferTxn(size_t i) {
+  constexpr uint64_t kAccounts = 8;
+  txn::Transaction t;
+  t.id = static_cast<txn::TxnId>(i + 1);
+  uint64_t a = i % kAccounts;
+  uint64_t b = (i * 5 + 3) % kAccounts;
+  if (a == b) b = (b + 1) % kAccounts;
+  int64_t amount = static_cast<int64_t>(i % 50) + 1;
+  t.ops.push_back(txn::Op::Increment("acct" + std::to_string(a), -amount));
+  t.ops.push_back(txn::Op::Increment("acct" + std::to_string(b), amount));
+  return t;
+}
+
+template <typename R>
+RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
+                     const NemesisSchedule* explicit_schedule, bool bft) {
+  const sim::Time horizon = HorizonFor(cfg);
+  World w(MixSeed(cfg));
+
+  consensus::ClusterConfig cc;
+  cc.batch_size = 8;  // several sequences per run, so faults land mid-stream
+  cc.quorum_slack_for_test = cfg.quorum_slack;
+  consensus::Cluster<R> cluster(&w.net, &w.registry, cfg.cluster_size, cc);
+
+  NemesisTopology topo;
+  NemesisTopology::Group group;
+  for (size_t i = 0; i < cfg.cluster_size; ++i) {
+    group.nodes.push_back(static_cast<sim::NodeId>(i));
+    topo.all_nodes.push_back(static_cast<sim::NodeId>(i));
+  }
+  group.max_faulty =
+      bft ? (cfg.cluster_size >= 4
+                 ? static_cast<uint32_t>((cfg.cluster_size - 1) / 3)
+                 : 1)
+          : static_cast<uint32_t>((cfg.cluster_size - 1) / 2);
+  topo.groups.push_back(std::move(group));
+  topo.partition_whole_network = true;
+  topo.supports_byzantine = bft;
+
+  NemesisSchedule schedule =
+      explicit_schedule
+          ? *explicit_schedule
+          : NemesisSchedule::Generate(profile, topo, horizon, cfg.seed);
+
+  CheckerSuite suite(&w.sim);
+  auto chains = [&cluster] {
+    std::vector<const ledger::Chain*> v;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      v.push_back(&cluster.replica(i)->chain());
+    }
+    return v;
+  };
+  suite.Add(std::make_unique<ChainAgreementChecker>(chains));
+  suite.Add(std::make_unique<ChainLinkageChecker>(chains));
+  suite.Add(std::make_unique<CommitValidityChecker>(
+      chains, [max_id = cfg.txns](txn::TxnId id) {
+        return id >= 1 && id <= max_id;
+      }));
+  KvModelChecker* kv = suite.Add(std::make_unique<KvModelChecker>());
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    cluster.replica(i)->set_commit_listener(
+        [kv, i, &w](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+          for (const txn::Transaction& t : batch.txns) {
+            kv->OnCommit(i, t, w.sim.now());
+          }
+        });
+  }
+  suite.Add(std::make_unique<BalanceConservationChecker>(
+      [kv] {
+        int64_t total = 0;
+        kv->model().ForEachLatest(
+            [&total](const store::Key&, const store::VersionedValue& v) {
+              total += txn::DecodeInt(v.value);
+            });
+        return total;
+      },
+      int64_t{0}));
+
+  schedule.Apply(&w.sim, &w.net, World::kDefaultLatency,
+                 [&cluster](const NemesisEvent& ev) {
+                   if (ev.replica_index < cluster.size()) {
+                     cluster.replica(ev.replica_index)
+                         ->set_byzantine_mode(ev.mode);
+                   }
+                 });
+
+  w.net.Start();
+  // Pace submissions over the first half of the horizon so fault windows
+  // overlap live traffic instead of an already-quiesced system.
+  sim::Time spacing =
+      cfg.txns > 0 ? std::max<sim::Time>(1, horizon / 2 / cfg.txns) : 1;
+  for (size_t i = 0; i < cfg.txns; ++i) {
+    w.sim.Schedule(static_cast<sim::Time>(i) * spacing,
+                   [&cluster, t = TransferTxn(i)] { cluster.Submit(t); });
+  }
+  suite.StartPeriodic(kCheckInterval, horizon);
+
+  RunResult result;
+  result.live = w.sim.RunUntil(
+      [&cluster, expect = cfg.txns] {
+        return cluster.MaxCommitted() >= expect;
+      },
+      horizon);
+  w.sim.Run(w.sim.now() + 5'000'000);  // deterministic straggler drain
+  suite.RunFinal();
+  result.committed = cluster.MaxCommitted();
+  FillResult(&result, suite, w, std::move(schedule));
+  return result;
+}
+
+// --- Sharded-system runs ---------------------------------------------------
+
+/// Adapter over the two shard systems so one harness body serves both.
+struct ShardSut {
+  std::unique_ptr<shard::SharperSystem> sharper;
+  std::unique_ptr<shard::TwoPhaseShardSystem> ahl;
+
+  void Submit(txn::Transaction t) {
+    if (sharper) {
+      sharper->Submit(std::move(t));
+    } else {
+      ahl->Submit(std::move(t));
+    }
+  }
+  void SetListeners(shard::TxnListener done,
+                    shard::ShardOutcomeListener outcome) {
+    if (sharper) {
+      sharper->set_listener(std::move(done));
+      sharper->set_shard_outcome_listener(std::move(outcome));
+    } else {
+      ahl->set_listener(std::move(done));
+      ahl->set_shard_outcome_listener(std::move(outcome));
+    }
+  }
+  int64_t TotalBalance() const {
+    return sharper ? sharper->TotalBalance() : ahl->TotalBalance();
+  }
+  shard::ShardCluster* cluster(size_t i) const {
+    if (sharper) return sharper->shard(static_cast<uint32_t>(i));
+    uint32_t shards = ahl->num_shards();
+    return i < shards ? ahl->shard(static_cast<uint32_t>(i))
+                      : ahl->coordinator(static_cast<uint32_t>(i - shards));
+  }
+  size_t num_clusters() const {
+    return sharper ? sharper->num_shards() : ahl->num_shards() + 1;
+  }
+};
+
+RunResult RunShard(const RunConfig& cfg, const NemesisProfile& profile,
+                   const NemesisSchedule* explicit_schedule) {
+  const sim::Time horizon = HorizonFor(cfg);
+  World w(MixSeed(cfg));
+
+  consensus::ClusterConfig cc;
+  cc.quorum_slack_for_test = cfg.quorum_slack;
+  const uint32_t shards = cfg.num_shards;
+  const size_t rps = cfg.cluster_size;
+
+  ShardSut sut;
+  if (cfg.protocol == "sharper") {
+    sut.sharper = std::make_unique<shard::SharperSystem>(
+        &w.net, &w.registry, shards, rps, cc);
+  } else {
+    shard::TwoPhaseConfig tp = shard::TwoPhaseConfig::Ahl(shards, rps);
+    tp.cluster = cc;
+    sut.ahl = std::make_unique<shard::TwoPhaseShardSystem>(&w.net,
+                                                           &w.registry, tp);
+  }
+
+  NemesisTopology topo;
+  for (size_t c = 0; c < sut.num_clusters(); ++c) {
+    NemesisTopology::Group group;
+    sim::NodeId base = static_cast<sim::NodeId>(c * (rps + 1));
+    for (size_t i = 0; i < rps; ++i) {
+      group.nodes.push_back(base + static_cast<sim::NodeId>(i));
+      topo.all_nodes.push_back(base + static_cast<sim::NodeId>(i));
+    }
+    group.max_faulty =
+        rps >= 4 ? static_cast<uint32_t>((rps - 1) / 3) : 0;
+    topo.groups.push_back(std::move(group));
+    sim::NodeId gateway = base + static_cast<sim::NodeId>(rps);
+    topo.all_nodes.push_back(gateway);
+    topo.never_crash.push_back(gateway);
+  }
+  topo.partition_whole_network = false;  // see NemesisTopology docs
+  topo.supports_byzantine = false;
+
+  NemesisSchedule schedule =
+      explicit_schedule
+          ? *explicit_schedule
+          : NemesisSchedule::Generate(profile, topo, horizon, cfg.seed);
+
+  CheckerSuite suite(&w.sim);
+  // Replica agreement within each cluster (cross-cluster chains are
+  // independent ledgers, so one checker per cluster).
+  for (size_t c = 0; c < sut.num_clusters(); ++c) {
+    suite.Add(std::make_unique<ChainAgreementChecker>([&sut, c] {
+      std::vector<const ledger::Chain*> v;
+      auto* cluster = sut.cluster(c)->consensus();
+      for (size_t i = 0; i < cluster->size(); ++i) {
+        v.push_back(&cluster->replica(i)->chain());
+      }
+      return v;
+    }));
+  }
+  auto all_chains = [&sut] {
+    std::vector<const ledger::Chain*> v;
+    for (size_t c = 0; c < sut.num_clusters(); ++c) {
+      auto* cluster = sut.cluster(c)->consensus();
+      for (size_t i = 0; i < cluster->size(); ++i) {
+        v.push_back(&cluster->replica(i)->chain());
+      }
+    }
+    return v;
+  };
+  suite.Add(std::make_unique<ChainLinkageChecker>(all_chains));
+  // Valid ids: client transactions plus the clusters' marker-id space
+  // (ShardCluster::NextMarkerId sets bits >= 40).
+  suite.Add(std::make_unique<CommitValidityChecker>(
+      all_chains, [max_id = cfg.txns](txn::TxnId id) {
+        return (id >= 1 && id <= max_id) || id >= (txn::TxnId{1} << 40);
+      }));
+  CrossShardAtomicityChecker* atomicity =
+      suite.Add(std::make_unique<CrossShardAtomicityChecker>());
+
+  // Workload: deposits into per-shard accounts, then a mix of intra- and
+  // cross-shard transfers. Transfers conserve whether they commit or
+  // abort; the expected total is whatever the committed deposits added.
+  struct Progress {
+    size_t submitted = 0;
+    std::map<txn::TxnId, bool> results;
+    int64_t deposited = 0;
+  };
+  auto progress = std::make_shared<Progress>();
+  const size_t accounts_per_shard = 2;
+  const size_t num_deposits = shards * accounts_per_shard;
+  auto account = [](uint32_t shard, size_t i) {
+    return "s" + std::to_string(shard) + "/acct" + std::to_string(i);
+  };
+
+  std::map<txn::TxnId, int64_t> deposit_amounts;
+  sut.SetListeners(
+      [progress, &deposit_amounts](txn::TxnId id, bool ok) {
+        progress->results[id] = ok;
+        auto it = deposit_amounts.find(id);
+        if (ok && it != deposit_amounts.end()) {
+          progress->deposited += it->second;
+        }
+      },
+      [atomicity, &w](shard::ShardId s, txn::TxnId id, bool commit) {
+        atomicity->OnShardOutcome(s, id, commit, w.sim.now());
+      });
+
+  suite.Add(std::make_unique<BalanceConservationChecker>(
+      [&sut] { return sut.TotalBalance(); },
+      [progress] { return progress->deposited; },
+      [progress, atomicity] {
+        return progress->results.size() >= progress->submitted &&
+               atomicity->AllDecided();
+      }));
+
+  schedule.Apply(&w.sim, &w.net, World::kDefaultLatency, nullptr);
+  w.net.Start();
+
+  txn::TxnId next_id = 1;
+  for (uint32_t s = 0; s < shards; ++s) {
+    for (size_t i = 0; i < accounts_per_shard; ++i) {
+      txn::Transaction t;
+      t.id = next_id++;
+      t.ops.push_back(txn::Op::Increment(account(s, i), 100));
+      deposit_amounts[t.id] = 100;
+      ++progress->submitted;
+      w.sim.Schedule(0, [&sut, t] { sut.Submit(t); });
+    }
+  }
+  // Transfers paced from 5 s to half the horizon; every third one crosses
+  // shards. Amounts are small so most clear the guard checks.
+  Rng pick(MixSeed(cfg) ^ 0x574C4F4144ULL);
+  size_t num_transfers = cfg.txns > num_deposits ? cfg.txns - num_deposits : 4;
+  sim::Time t0 = 5'000'000;
+  sim::Time spacing = std::max<sim::Time>(
+      1, (horizon / 2 - t0) / std::max<size_t>(1, num_transfers));
+  for (size_t i = 0; i < num_transfers; ++i) {
+    uint32_t from_shard = static_cast<uint32_t>(pick.NextU64(shards));
+    uint32_t to_shard = i % 3 == 0
+                            ? static_cast<uint32_t>(pick.NextU64(shards))
+                            : from_shard;
+    txn::Transaction t;
+    t.id = next_id++;
+    int64_t amount = 1 + static_cast<int64_t>(pick.NextU64(20));
+    t.ops.push_back(txn::Op::Increment(
+        account(from_shard, pick.NextU64(accounts_per_shard)), -amount));
+    t.ops.push_back(txn::Op::Increment(
+        account(to_shard, pick.NextU64(accounts_per_shard)), amount));
+    auto involved = shard::ShardsOf(t, shards);
+    if (involved.size() > 1) {
+      atomicity->ExpectOutcomes(t.id, involved.size());
+    }
+    ++progress->submitted;
+    w.sim.Schedule(t0 + static_cast<sim::Time>(i) * spacing,
+                   [&sut, t] { sut.Submit(t); });
+  }
+  suite.StartPeriodic(kCheckInterval, horizon);
+
+  RunResult result;
+  result.live = w.sim.RunUntil(
+      [progress, atomicity] {
+        return progress->results.size() >= progress->submitted &&
+               atomicity->AllDecided();
+      },
+      horizon);
+  w.sim.Run(w.sim.now() + 30'000'000);  // deterministic straggler drain
+  suite.RunFinal();
+  result.committed = progress->results.size();
+  FillResult(&result, suite, w, std::move(schedule));
+  return result;
+}
+
+RunResult Dispatch(const RunConfig& cfg,
+                   const NemesisSchedule* explicit_schedule) {
+  NemesisProfile profile;
+  if (!NemesisProfile::Parse(cfg.nemesis, &profile)) {
+    RunResult bad;
+    bad.violations.push_back(
+        {"config", "unknown nemesis profile: " + cfg.nemesis, 0});
+    return bad;
+  }
+  if (cfg.protocol == "pbft") {
+    return RunCluster<consensus::PbftReplica>(cfg, profile, explicit_schedule,
+                                              /*bft=*/true);
+  }
+  if (cfg.protocol == "hotstuff") {
+    return RunCluster<consensus::HotStuffReplica>(cfg, profile,
+                                                  explicit_schedule,
+                                                  /*bft=*/true);
+  }
+  if (cfg.protocol == "tendermint") {
+    return RunCluster<consensus::TendermintReplica>(cfg, profile,
+                                                    explicit_schedule,
+                                                    /*bft=*/true);
+  }
+  if (cfg.protocol == "raft") {
+    return RunCluster<consensus::RaftReplica>(cfg, profile, explicit_schedule,
+                                              /*bft=*/false);
+  }
+  if (cfg.protocol == "paxos") {
+    return RunCluster<consensus::PaxosReplica>(cfg, profile,
+                                               explicit_schedule,
+                                               /*bft=*/false);
+  }
+  if (IsSharded(cfg.protocol)) {
+    return RunShard(cfg, profile, explicit_schedule);
+  }
+  RunResult bad;
+  bad.violations.push_back(
+      {"config", "unknown protocol: " + cfg.protocol, 0});
+  return bad;
+}
+
+}  // namespace
+
+std::string RunConfig::ReproLine() const {
+  std::ostringstream os;
+  os << "check_runner --protocol " << protocol << " --cluster-size "
+     << cluster_size;
+  if (IsSharded(protocol)) os << " --num-shards " << num_shards;
+  os << " --nemesis " << nemesis << " --txns " << txns << " --seeds 1"
+     << " --seed-base " << seed;
+  if (quorum_slack > 0) os << " --mutate-quorum " << quorum_slack;
+  return os.str();
+}
+
+obs::Json RunConfig::ToJson() const {
+  obs::Json j = obs::Json::Object()
+                    .Set("protocol", protocol)
+                    .Set("cluster_size", static_cast<uint64_t>(cluster_size))
+                    .Set("nemesis", nemesis)
+                    .Set("seed", seed)
+                    .Set("txns", static_cast<uint64_t>(txns))
+                    .Set("horizon_us", HorizonFor(*this));
+  if (IsSharded(protocol)) j.Set("num_shards", num_shards);
+  if (quorum_slack > 0) j.Set("quorum_slack", quorum_slack);
+  return j;
+}
+
+RunResult RunOne(const RunConfig& config) { return Dispatch(config, nullptr); }
+
+RunResult RunWithSchedule(const RunConfig& config,
+                          const NemesisSchedule& schedule) {
+  return Dispatch(config, &schedule);
+}
+
+std::vector<std::string> KnownProtocols() {
+  return {"pbft", "raft", "hotstuff", "tendermint", "paxos", "sharper", "ahl"};
+}
+
+}  // namespace pbc::check

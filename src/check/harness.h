@@ -1,0 +1,81 @@
+// Harness: builds a (protocol, cluster size, nemesis, seed) world, runs it
+// deterministically, and evaluates the invariant checkers against it.
+//
+// A run is a pure function of `RunConfig` (+ an optional explicit
+// schedule): same inputs, same `RunResult` — which is what makes the
+// `(config, seed)` repro lines in sweep reports replayable and schedule
+// shrinking sound.
+#ifndef PBC_CHECK_HARNESS_H_
+#define PBC_CHECK_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/nemesis.h"
+#include "obs/json.h"
+
+namespace pbc::check {
+
+/// \brief Everything that determines a run.
+struct RunConfig {
+  /// pbft | raft | hotstuff | tendermint | paxos | sharper | ahl
+  std::string protocol = "pbft";
+  /// Replicas per consensus cluster (per shard for sharded protocols).
+  size_t cluster_size = 4;
+  /// Number of shards (sharded protocols only).
+  uint32_t num_shards = 2;
+  /// Nemesis profile CSV, e.g. "crash,partition" (see NemesisProfile).
+  std::string nemesis = "crash";
+  uint64_t seed = 0;
+  /// Client transactions submitted, paced over the first half of the run.
+  size_t txns = 40;
+  /// Simulated-time budget; 0 = auto (60 s for consensus clusters, 300 s
+  /// for the sharded systems, matching the repo's test ceilings).
+  sim::Time horizon_us = 0;
+  /// TEST-ONLY mutation: widens accepted quorums by this many votes (see
+  /// ClusterConfig::quorum_slack_for_test). The sweeps must catch > 0.
+  uint32_t quorum_slack = 0;
+
+  /// A command line that replays exactly this run.
+  std::string ReproLine() const;
+  obs::Json ToJson() const;
+};
+
+/// \brief Outcome of one deterministic run.
+struct RunResult {
+  /// Workload completed (every expected commit/decision observed) before
+  /// the horizon. A liveness indicator, reported but — unlike safety
+  /// violations — tolerated under fault schedules.
+  bool live = false;
+  /// Transactions the most advanced replica committed (consensus) or
+  /// client decisions received (sharded).
+  uint64_t committed = 0;
+  std::vector<Violation> violations;
+  /// Invariant name → number of checker invocations.
+  std::map<std::string, uint64_t> coverage;
+  uint64_t sim_events = 0;
+  sim::Time sim_end_us = 0;
+  /// The schedule the run executed (generated from the seed unless an
+  /// explicit one was supplied) — the input to shrinking.
+  NemesisSchedule schedule;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief Runs one seed with the schedule generated from the config.
+RunResult RunOne(const RunConfig& config);
+
+/// \brief Runs one seed with an explicit (e.g. shrunk) schedule.
+RunResult RunWithSchedule(const RunConfig& config,
+                          const NemesisSchedule& schedule);
+
+/// \brief Protocols RunOne understands; "all" in sweep options expands to
+/// this list.
+std::vector<std::string> KnownProtocols();
+
+}  // namespace pbc::check
+
+#endif  // PBC_CHECK_HARNESS_H_

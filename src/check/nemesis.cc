@@ -1,0 +1,438 @@
+#include "check/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pbc::check {
+
+namespace {
+
+const char* KindName(NemesisKind kind) {
+  switch (kind) {
+    case NemesisKind::kCrash:
+      return "crash";
+    case NemesisKind::kRecover:
+      return "recover";
+    case NemesisKind::kPartition:
+      return "partition";
+    case NemesisKind::kHeal:
+      return "heal";
+    case NemesisKind::kDelay:
+      return "delay";
+    case NemesisKind::kClearDelay:
+      return "clear-delay";
+    case NemesisKind::kByzantine:
+      return "byzantine";
+  }
+  return "?";
+}
+
+const char* ModeName(consensus::ByzantineMode mode) {
+  switch (mode) {
+    case consensus::ByzantineMode::kHonest:
+      return "honest";
+    case consensus::ByzantineMode::kSilent:
+      return "silent";
+    case consensus::ByzantineMode::kEquivocate:
+      return "equivocate";
+    case consensus::ByzantineMode::kVoteBoth:
+      return "vote-both";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool NemesisProfile::Parse(const std::string& csv, NemesisProfile* out) {
+  *out = NemesisProfile{};
+  if (csv.empty() || csv == "none") return true;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == "crash") {
+      out->crash = true;
+    } else if (token == "partition") {
+      out->partition = true;
+    } else if (token == "delay") {
+      out->delay = true;
+    } else if (token == "byzantine") {
+      out->byzantine = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string NemesisProfile::ToString() const {
+  std::string s;
+  auto add = [&s](const char* t) {
+    if (!s.empty()) s += ",";
+    s += t;
+  };
+  if (crash) add("crash");
+  if (partition) add("partition");
+  if (delay) add("delay");
+  if (byzantine) add("byzantine");
+  return s.empty() ? "none" : s;
+}
+
+std::string NemesisEvent::Describe() const {
+  std::ostringstream os;
+  os << "t=" << at << "us " << KindName(kind);
+  switch (kind) {
+    case NemesisKind::kCrash:
+    case NemesisKind::kRecover:
+      os << " node=" << node;
+      break;
+    case NemesisKind::kPartition: {
+      for (const auto& g : groups) {
+        os << " {";
+        for (size_t i = 0; i < g.size(); ++i) os << (i ? "," : "") << g[i];
+        os << "}";
+      }
+      break;
+    }
+    case NemesisKind::kHeal:
+      break;
+    case NemesisKind::kDelay:
+      os << " link=" << from << "->" << to << " base=" << latency.base_us
+         << "us jitter=" << latency.jitter_us << "us";
+      break;
+    case NemesisKind::kClearDelay:
+      os << " link=" << from << "->" << to;
+      break;
+    case NemesisKind::kByzantine:
+      os << " replica=" << replica_index << " mode=" << ModeName(mode);
+      break;
+  }
+  return os.str();
+}
+
+obs::Json NemesisEvent::ToJson() const {
+  obs::Json j = obs::Json::Object()
+                    .Set("at_us", at)
+                    .Set("kind", KindName(kind))
+                    .Set("window", window);
+  switch (kind) {
+    case NemesisKind::kCrash:
+    case NemesisKind::kRecover:
+      j.Set("node", node);
+      break;
+    case NemesisKind::kPartition: {
+      obs::Json gs = obs::Json::Array();
+      for (const auto& g : groups) {
+        obs::Json ids = obs::Json::Array();
+        for (sim::NodeId id : g) ids.Push(id);
+        gs.Push(std::move(ids));
+      }
+      j.Set("groups", std::move(gs));
+      break;
+    }
+    case NemesisKind::kHeal:
+      break;
+    case NemesisKind::kDelay:
+      j.Set("from", from)
+          .Set("to", to)
+          .Set("base_us", latency.base_us)
+          .Set("jitter_us", latency.jitter_us);
+      break;
+    case NemesisKind::kClearDelay:
+      j.Set("from", from).Set("to", to);
+      break;
+    case NemesisKind::kByzantine:
+      j.Set("replica_index", static_cast<uint64_t>(replica_index))
+          .Set("mode", ModeName(mode));
+      break;
+  }
+  return j;
+}
+
+// --- Generation ------------------------------------------------------------
+
+NemesisSchedule NemesisSchedule::Generate(const NemesisProfile& profile,
+                                          const NemesisTopology& topology,
+                                          sim::Time horizon, uint64_t seed) {
+  Rng rng(seed ^ 0x4E454D4553A5A5ULL);
+  std::vector<NemesisEvent> events;
+  uint64_t next_window = 1;
+
+  const sim::Time start_max = horizon * 55 / 100;
+  const sim::Time fault_end = horizon * 70 / 100;
+  auto window_times = [&](sim::Time cursor) {
+    sim::Time t1 = cursor + rng.NextU64(start_max > cursor
+                                            ? start_max - cursor
+                                            : 1);
+    sim::Time dur = horizon / 20 + rng.NextU64(horizon / 4);
+    sim::Time t2 = std::min<sim::Time>(t1 + dur, fault_end);
+    return std::pair<sim::Time, sim::Time>(t1, t2);
+  };
+  auto is_never_crash = [&](sim::NodeId id) {
+    return std::find(topology.never_crash.begin(), topology.never_crash.end(),
+                     id) != topology.never_crash.end();
+  };
+
+  // Byzantine assignment: at most one replica, charged against its
+  // cluster's fault budget for the whole run.
+  int byz_group = -1;
+  sim::NodeId byz_node = ~sim::NodeId{0};
+  if (profile.byzantine && topology.supports_byzantine &&
+      !topology.groups.empty()) {
+    size_t g = rng.NextU64(topology.groups.size());
+    const auto& group = topology.groups[g];
+    if (group.max_faulty >= 1 && !group.nodes.empty()) {
+      size_t idx = rng.NextU64(group.nodes.size());
+      NemesisEvent ev;
+      ev.at = 0;
+      ev.kind = NemesisKind::kByzantine;
+      ev.window = next_window++;
+      ev.replica_index = idx;
+      ev.node = group.nodes[idx];
+      double which = rng.NextDouble();
+      ev.mode = which < 0.5   ? consensus::ByzantineMode::kEquivocate
+                : which < 0.75 ? consensus::ByzantineMode::kVoteBoth
+                               : consensus::ByzantineMode::kSilent;
+      byz_group = static_cast<int>(g);
+      byz_node = ev.node;
+      events.push_back(ev);
+    }
+  }
+
+  // Crash windows: per cluster, sequential (never more than one of a
+  // cluster's nodes down at once — conservative within every f ≥ 1).
+  if (profile.crash) {
+    for (size_t g = 0; g < topology.groups.size(); ++g) {
+      const auto& group = topology.groups[g];
+      uint32_t budget = group.max_faulty;
+      if (static_cast<int>(g) == byz_group && budget > 0) --budget;
+      if (budget == 0) continue;
+      std::vector<sim::NodeId> eligible;
+      for (sim::NodeId id : group.nodes) {
+        if (!is_never_crash(id) && id != byz_node) eligible.push_back(id);
+      }
+      if (eligible.empty()) continue;
+      size_t count = rng.NextU64(3);  // 0..2 windows
+      sim::Time cursor = 0;
+      for (size_t w = 0; w < count && cursor < start_max; ++w) {
+        auto [t1, t2] = window_times(cursor);
+        if (t1 >= t2) break;
+        sim::NodeId victim = eligible[rng.NextU64(eligible.size())];
+        uint64_t window = next_window++;
+        events.push_back(
+            {t1, NemesisKind::kCrash, window, victim, {}, 0, 0, {}, 0,
+             consensus::ByzantineMode::kHonest});
+        events.push_back(
+            {t2, NemesisKind::kRecover, window, victim, {}, 0, 0, {}, 0,
+             consensus::ByzantineMode::kHonest});
+        cursor = t2 + horizon / 100;
+      }
+    }
+  }
+
+  // Partition windows: global state, so windows are sequential.
+  if (profile.partition && topology.all_nodes.size() >= 2) {
+    size_t count = rng.NextU64(3);  // 0..2 windows
+    sim::Time cursor = 0;
+    for (size_t w = 0; w < count && cursor < start_max; ++w) {
+      auto [t1, t2] = window_times(cursor);
+      if (t1 >= t2) break;
+      std::vector<sim::NodeId> side_a, side_b;
+      if (topology.partition_whole_network) {
+        for (int attempt = 0; attempt < 8 && (side_a.empty() || side_b.empty());
+             ++attempt) {
+          side_a.clear();
+          side_b.clear();
+          for (sim::NodeId id : topology.all_nodes) {
+            (rng.NextU64(2) == 0 ? side_a : side_b).push_back(id);
+          }
+        }
+        if (side_a.empty() || side_b.empty()) {
+          side_a.assign(1, topology.all_nodes[0]);
+          side_b.assign(topology.all_nodes.begin() + 1,
+                        topology.all_nodes.end());
+        }
+      } else {
+        // Split one cluster's replicas; everyone else stays with side B.
+        std::vector<size_t> splittable;
+        for (size_t g = 0; g < topology.groups.size(); ++g) {
+          if (topology.groups[g].nodes.size() >= 2) splittable.push_back(g);
+        }
+        if (splittable.empty()) break;
+        const auto& cluster =
+            topology.groups[splittable[rng.NextU64(splittable.size())]];
+        std::vector<sim::NodeId> members = cluster.nodes;
+        for (size_t i = members.size(); i > 1; --i) {
+          std::swap(members[i - 1], members[rng.NextU64(i)]);
+        }
+        size_t k = 1 + rng.NextU64(members.size() - 1);
+        side_a.assign(members.begin(), members.begin() + k);
+        std::set<sim::NodeId> in_a(side_a.begin(), side_a.end());
+        for (sim::NodeId id : topology.all_nodes) {
+          if (in_a.count(id) == 0) side_b.push_back(id);
+        }
+      }
+      uint64_t window = next_window++;
+      NemesisEvent cut;
+      cut.at = t1;
+      cut.kind = NemesisKind::kPartition;
+      cut.window = window;
+      cut.groups = {side_a, side_b};
+      events.push_back(cut);
+      NemesisEvent heal;
+      heal.at = t2;
+      heal.kind = NemesisKind::kHeal;
+      heal.window = window;
+      events.push_back(heal);
+      cursor = t2 + horizon / 100;
+    }
+  }
+
+  // Delay windows: overlapping is fine; delays only reorder.
+  if (profile.delay && topology.all_nodes.size() >= 2) {
+    size_t count = rng.NextU64(4);  // 0..3 windows
+    for (size_t w = 0; w < count; ++w) {
+      auto [t1, t2] = window_times(0);
+      if (t1 >= t2) continue;
+      size_t a = rng.NextU64(topology.all_nodes.size());
+      size_t b = rng.NextU64(topology.all_nodes.size() - 1);
+      if (b >= a) ++b;
+      uint64_t window = next_window++;
+      NemesisEvent slow;
+      slow.at = t1;
+      slow.kind = NemesisKind::kDelay;
+      slow.window = window;
+      slow.from = topology.all_nodes[a];
+      slow.to = topology.all_nodes[b];
+      slow.latency = {5000 + rng.NextU64(30000), rng.NextU64(5000)};
+      events.push_back(slow);
+      NemesisEvent clear = slow;
+      clear.at = t2;
+      clear.kind = NemesisKind::kClearDelay;
+      events.push_back(clear);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const NemesisEvent& a, const NemesisEvent& b) {
+                     return a.at < b.at;
+                   });
+  return FromEvents(std::move(events));
+}
+
+NemesisSchedule NemesisSchedule::FromEvents(std::vector<NemesisEvent> events) {
+  NemesisSchedule s;
+  s.events_ = std::move(events);
+  return s;
+}
+
+std::vector<uint64_t> NemesisSchedule::WindowIds() const {
+  std::set<uint64_t> ids;
+  for (const NemesisEvent& ev : events_) ids.insert(ev.window);
+  return std::vector<uint64_t>(ids.begin(), ids.end());
+}
+
+NemesisSchedule NemesisSchedule::Filtered(
+    const std::vector<uint64_t>& windows) const {
+  std::set<uint64_t> keep(windows.begin(), windows.end());
+  std::vector<NemesisEvent> events;
+  for (const NemesisEvent& ev : events_) {
+    if (keep.count(ev.window) > 0) events.push_back(ev);
+  }
+  return FromEvents(std::move(events));
+}
+
+void NemesisSchedule::Apply(
+    sim::Simulator* sim, sim::Network* net, sim::LinkLatency default_latency,
+    const std::function<void(const NemesisEvent&)>& set_byzantine) const {
+  for (const NemesisEvent& ev : events_) {
+    switch (ev.kind) {
+      case NemesisKind::kCrash:
+        sim->Schedule(ev.at, [net, node = ev.node] { net->Crash(node); });
+        break;
+      case NemesisKind::kRecover:
+        sim->Schedule(ev.at, [net, node = ev.node] { net->Recover(node); });
+        break;
+      case NemesisKind::kPartition:
+        sim->Schedule(ev.at,
+                      [net, groups = ev.groups] { net->Partition(groups); });
+        break;
+      case NemesisKind::kHeal:
+        sim->Schedule(ev.at, [net] { net->Heal(); });
+        break;
+      case NemesisKind::kDelay:
+        sim->Schedule(ev.at, [net, from = ev.from, to = ev.to,
+                              latency = ev.latency] {
+          net->SetDirectionalLinkLatency(from, to, latency);
+        });
+        break;
+      case NemesisKind::kClearDelay:
+        sim->Schedule(ev.at, [net, from = ev.from, to = ev.to,
+                              default_latency] {
+          net->SetDirectionalLinkLatency(from, to, default_latency);
+        });
+        break;
+      case NemesisKind::kByzantine:
+        if (set_byzantine) set_byzantine(ev);
+        break;
+    }
+  }
+}
+
+obs::Json NemesisSchedule::ToJson() const {
+  obs::Json arr = obs::Json::Array();
+  for (const NemesisEvent& ev : events_) arr.Push(ev.ToJson());
+  return arr;
+}
+
+std::string NemesisSchedule::Describe() const {
+  std::string s;
+  for (const NemesisEvent& ev : events_) {
+    if (!s.empty()) s += "; ";
+    s += ev.Describe();
+  }
+  return s.empty() ? "(empty)" : s;
+}
+
+// --- Shrinking -------------------------------------------------------------
+
+std::vector<uint64_t> ShrinkWindows(
+    std::vector<uint64_t> windows,
+    const std::function<bool(const std::vector<uint64_t>&)>& reproduces,
+    size_t budget) {
+  size_t calls = 0;
+  auto try_repro = [&](const std::vector<uint64_t>& candidate) {
+    if (calls >= budget) return false;
+    ++calls;
+    return reproduces(candidate);
+  };
+  if (windows.empty()) return windows;
+  if (try_repro({})) return {};
+
+  std::vector<uint64_t> current = windows;
+  size_t granularity = 2;
+  while (current.size() >= 2 && calls < budget) {
+    size_t chunk = (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<uint64_t> candidate;
+      candidate.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(current[i]);
+      }
+      if (candidate.size() == current.size() || candidate.empty()) continue;
+      if (try_repro(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return current;
+}
+
+}  // namespace pbc::check

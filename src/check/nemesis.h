@@ -1,0 +1,149 @@
+// Nemesis: randomized fault schedules generated from a seed.
+//
+// A `NemesisSchedule` is an explicit, replayable list of fault-injection
+// events (crash/recover, partition/heal, asymmetric link delays, Byzantine
+// mode assignment) layered on the sim::Network fault API. Generation is a
+// pure function of (profile, topology, horizon, seed) and never touches
+// the simulator's RNG, so the same schedule can be re-applied — whole or
+// shrunk to a subset of its windows — against a fresh deterministic run.
+//
+// Events come in *windows* (crash→recover, partition→heal, delay→clear;
+// a Byzantine assignment is a single-event window). Windows are the unit
+// of shrinking: removing a window removes both endpoints, so a shrunk
+// schedule is always well-formed.
+#ifndef PBC_CHECK_NEMESIS_H_
+#define PBC_CHECK_NEMESIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/types.h"
+#include "obs/json.h"
+#include "sim/network.h"
+
+namespace pbc::check {
+
+/// \brief Which fault classes a schedule may draw from.
+struct NemesisProfile {
+  bool crash = false;      ///< crash-stop + later recovery
+  bool partition = false;  ///< network split + later heal
+  bool delay = false;      ///< asymmetric link slowdown windows
+  bool byzantine = false;  ///< one Byzantine replica (BFT protocols only)
+
+  /// Parses "crash,partition,delay,byzantine" (any subset, any order);
+  /// "none" or "" yields an empty profile. Unknown tokens fail.
+  static bool Parse(const std::string& csv, NemesisProfile* out);
+  std::string ToString() const;
+};
+
+enum class NemesisKind {
+  kCrash,
+  kRecover,
+  kPartition,
+  kHeal,
+  kDelay,       ///< directional latency override on one link
+  kClearDelay,  ///< restore the default latency on that link
+  kByzantine,   ///< set a replica's Byzantine mode (at t=0, before Start)
+};
+
+/// \brief One fault-injection event.
+struct NemesisEvent {
+  sim::Time at = 0;
+  NemesisKind kind = NemesisKind::kCrash;
+  uint64_t window = 0;  ///< shrink unit: events sharing a window id
+
+  sim::NodeId node = 0;                            // crash / recover
+  std::vector<std::vector<sim::NodeId>> groups;    // partition
+  sim::NodeId from = 0, to = 0;                    // delay link
+  sim::LinkLatency latency;                        // delay value
+  size_t replica_index = 0;                        // byzantine target
+  consensus::ByzantineMode mode = consensus::ByzantineMode::kHonest;
+
+  std::string Describe() const;
+  obs::Json ToJson() const;
+};
+
+/// \brief Fault-budget topology of the system under test.
+struct NemesisTopology {
+  /// One group per consensus cluster: at most `max_faulty` of its nodes
+  /// may be crashed/Byzantine at a time (the cluster's f).
+  struct Group {
+    std::vector<sim::NodeId> nodes;
+    uint32_t max_faulty = 1;
+  };
+  std::vector<Group> groups;
+
+  /// Every node in the system (partitions must cover all of them — nodes
+  /// left out of all partition groups would be isolated).
+  std::vector<sim::NodeId> all_nodes;
+
+  /// Nodes that must never crash (single-point gateways in the shard
+  /// model; they stand for whole clusters, not individual machines).
+  std::vector<sim::NodeId> never_crash;
+
+  /// When true, partitions may split `all_nodes` arbitrarily. When false
+  /// (sharded systems), partitions only split one cluster's replicas:
+  /// cross-gateway protocol messages have no retransmission layer, so an
+  /// arbitrary split would lose them forever and turn a liveness gap into
+  /// a false safety alarm (see DESIGN.md §8).
+  bool partition_whole_network = true;
+
+  /// Whether replicas accept set_byzantine_mode (BFT protocols).
+  bool supports_byzantine = false;
+};
+
+/// \brief A replayable fault schedule.
+class NemesisSchedule {
+ public:
+  /// Generates a schedule from the seed. All injected faults begin before
+  /// `0.55 * horizon` and end by `0.7 * horizon`, leaving a fault-free
+  /// tail so liveness is achievable in correct systems.
+  static NemesisSchedule Generate(const NemesisProfile& profile,
+                                  const NemesisTopology& topology,
+                                  sim::Time horizon, uint64_t seed);
+
+  const std::vector<NemesisEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Window ids present, ascending.
+  std::vector<uint64_t> WindowIds() const;
+
+  /// The schedule restricted to the given windows (shrinking).
+  NemesisSchedule Filtered(const std::vector<uint64_t>& windows) const;
+
+  /// Applies the schedule: network faults are scheduled on `sim` directly;
+  /// kByzantine events are handed to `set_byzantine` immediately (they are
+  /// start-of-run assignments). `default_latency` is what kClearDelay
+  /// restores.
+  void Apply(sim::Simulator* sim, sim::Network* net,
+             sim::LinkLatency default_latency,
+             const std::function<void(const NemesisEvent&)>& set_byzantine)
+      const;
+
+  obs::Json ToJson() const;
+  std::string Describe() const;
+
+  /// Direct construction for tests and shrinking internals.
+  static NemesisSchedule FromEvents(std::vector<NemesisEvent> events);
+
+ private:
+  std::vector<NemesisEvent> events_;  // ordered by `at`
+};
+
+/// \brief ddmin-style shrinking over window ids.
+///
+/// Returns a (locally) minimal subset of `windows` for which
+/// `reproduces` still returns true, calling it at most `budget` times.
+/// `reproduces` must be deterministic; with the seeded simulator it is.
+std::vector<uint64_t> ShrinkWindows(
+    std::vector<uint64_t> windows,
+    const std::function<bool(const std::vector<uint64_t>&)>& reproduces,
+    size_t budget = 64);
+
+}  // namespace pbc::check
+
+#endif  // PBC_CHECK_NEMESIS_H_

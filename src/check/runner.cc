@@ -1,0 +1,136 @@
+#include "check/runner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pbc::check {
+
+namespace {
+
+bool SupportsByzantine(const std::string& protocol) {
+  return protocol == "pbft" || protocol == "hotstuff" ||
+         protocol == "tendermint";
+}
+
+}  // namespace
+
+std::vector<RunConfig> SweepOptions::Expand() const {
+  std::vector<std::string> protos;
+  for (const std::string& p : protocols) {
+    if (p == "all") {
+      std::vector<std::string> known = KnownProtocols();
+      protos.insert(protos.end(), known.begin(), known.end());
+    } else {
+      protos.push_back(p);
+    }
+  }
+  std::vector<RunConfig> cells;
+  std::set<std::string> seen;  // "proto|nemesis|size" dedup after reduction
+  for (const std::string& proto : protos) {
+    for (const std::string& nemesis : nemeses) {
+      NemesisProfile profile;
+      if (!NemesisProfile::Parse(nemesis, &profile)) continue;
+      if (profile.byzantine && !SupportsByzantine(proto)) {
+        profile.byzantine = false;
+      }
+      std::string reduced = profile.ToString();
+      for (size_t size : cluster_sizes) {
+        std::string key =
+            proto + "|" + reduced + "|" + std::to_string(size);
+        if (!seen.insert(key).second) continue;
+        RunConfig cfg;
+        cfg.protocol = proto;
+        cfg.cluster_size = size;
+        cfg.num_shards = num_shards;
+        cfg.nemesis = reduced;
+        cfg.txns = txns;
+        cfg.quorum_slack = quorum_slack;
+        cells.push_back(std::move(cfg));
+      }
+    }
+  }
+  return cells;
+}
+
+obs::Json SweepFailure::ToJson() const {
+  obs::Json v = obs::Json::Array();
+  for (const Violation& violation : violations) v.Push(violation.ToJson());
+  obs::Json windows = obs::Json::Array();
+  for (uint64_t w : shrunk_windows) windows.Push(w);
+  return obs::Json::Object()
+      .Set("config", config.ToJson())
+      .Set("repro", config.ReproLine())
+      .Set("live", live)
+      .Set("violations", std::move(v))
+      .Set("shrunk_windows", std::move(windows))
+      .Set("shrink_replays", static_cast<uint64_t>(shrink_replays))
+      .Set("shrunk_schedule", shrunk_schedule.ToJson());
+}
+
+obs::Json SweepReport::ToJson() const {
+  obs::Json cov = obs::Json::Object();
+  for (const auto& [name, count] : coverage) cov.Set(name, count);
+  obs::Json fails = obs::Json::Array();
+  for (const SweepFailure& f : failures) fails.Push(f.ToJson());
+  obs::Json stragglers = obs::Json::Array();
+  for (const std::string& line : not_live) stragglers.Push(line);
+  return obs::Json::Object()
+      .Set("runs", static_cast<uint64_t>(runs))
+      .Set("live_runs", static_cast<uint64_t>(live_runs))
+      .Set("violating_runs", static_cast<uint64_t>(failures.size()))
+      .Set("coverage", std::move(cov))
+      .Set("failures", std::move(fails))
+      .Set("not_live", std::move(stragglers));
+}
+
+NemesisSchedule ShrinkFailure(const RunConfig& config,
+                              const NemesisSchedule& schedule, size_t budget,
+                              size_t* replays_out) {
+  size_t replays = 0;
+  auto reproduces = [&config, &schedule,
+                     &replays](const std::vector<uint64_t>& windows) {
+    ++replays;
+    RunResult r = RunWithSchedule(config, schedule.Filtered(windows));
+    return !r.ok();
+  };
+  std::vector<uint64_t> minimal =
+      ShrinkWindows(schedule.WindowIds(), reproduces, budget);
+  if (replays_out) *replays_out = replays;
+  return schedule.Filtered(minimal);
+}
+
+SweepReport RunSweep(const SweepOptions& options, const ProgressFn& progress) {
+  SweepReport report;
+  for (RunConfig cell : options.Expand()) {
+    for (size_t i = 0; i < options.seeds; ++i) {
+      cell.seed = options.seed_base + i;
+      RunResult result = RunOne(cell);
+      ++report.runs;
+      if (result.live) ++report.live_runs;
+      for (const auto& [name, count] : result.coverage) {
+        report.coverage[name] += count;
+      }
+      if (!result.ok()) {
+        SweepFailure failure;
+        failure.config = cell;
+        failure.violations = result.violations;
+        failure.live = result.live;
+        if (options.shrink) {
+          failure.shrunk_schedule =
+              ShrinkFailure(cell, result.schedule, options.shrink_budget,
+                            &failure.shrink_replays);
+        } else {
+          failure.shrunk_schedule = result.schedule;
+        }
+        failure.shrunk_windows = failure.shrunk_schedule.WindowIds();
+        report.failures.push_back(std::move(failure));
+      } else if (!result.live) {
+        report.not_live.push_back(cell.ReproLine());
+      }
+      if (progress) progress(cell, result);
+    }
+  }
+  return report;
+}
+
+}  // namespace pbc::check

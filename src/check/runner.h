@@ -1,0 +1,91 @@
+// Seed-sweep driver: runs N seeds across {protocol, cluster size, nemesis
+// profile}, reports violations with exact (config, seed) repro lines, and
+// shrinks failing schedules to minimal window subsets by deterministic
+// replay.
+#ifndef PBC_CHECK_RUNNER_H_
+#define PBC_CHECK_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/harness.h"
+
+namespace pbc::check {
+
+/// \brief The sweep grid: every (protocol, cluster size, nemesis) cell runs
+/// `seeds` consecutive seeds starting at `seed_base`.
+struct SweepOptions {
+  /// Protocol names; "all" expands to KnownProtocols().
+  std::vector<std::string> protocols = {"all"};
+  /// Nemesis profile CSVs (each one cell, e.g. {"crash", "crash,partition"}).
+  std::vector<std::string> nemeses = {"crash"};
+  std::vector<size_t> cluster_sizes = {4};
+  size_t seeds = 20;
+  uint64_t seed_base = 0;
+  size_t txns = 40;
+  uint32_t num_shards = 2;
+  /// TEST-ONLY quorum mutation, forwarded to every run (see RunConfig).
+  uint32_t quorum_slack = 0;
+  /// Shrink each failure's schedule before reporting.
+  bool shrink = true;
+  /// Max replays ShrinkFailure may spend per failure.
+  size_t shrink_budget = 32;
+
+  /// Grid cells with the "byzantine" token dropped for protocols that
+  /// cannot host a Byzantine replica (CFT, sharded) are skipped when the
+  /// reduced profile duplicates another cell.
+  std::vector<RunConfig> Expand() const;
+};
+
+/// \brief One failing run, with its shrunk repro.
+struct SweepFailure {
+  RunConfig config;
+  std::vector<Violation> violations;
+  bool live = false;
+  /// Window ids of the shrunk (locally minimal) schedule; equals the full
+  /// window set when shrinking is disabled or the failure needs them all.
+  std::vector<uint64_t> shrunk_windows;
+  /// The shrunk schedule itself (replay with `check_runner --replay` or
+  /// RunWithSchedule).
+  NemesisSchedule shrunk_schedule;
+  size_t shrink_replays = 0;
+
+  obs::Json ToJson() const;
+};
+
+/// \brief Aggregate result of a sweep.
+struct SweepReport {
+  size_t runs = 0;
+  size_t live_runs = 0;
+  std::vector<SweepFailure> failures;
+  /// Invariant name → total checker invocations across all runs.
+  std::map<std::string, uint64_t> coverage;
+  /// Liveness stragglers (config repro lines that missed the horizon but
+  /// violated nothing) — reported, not failures.
+  std::vector<std::string> not_live;
+
+  bool ok() const { return failures.empty(); }
+  /// Deterministic for a fixed option set: contains no wall-clock fields
+  /// (the runner binary stamps "wall_ms" separately).
+  obs::Json ToJson() const;
+};
+
+/// \brief Replays `schedule` subsets to find a locally minimal set of
+/// windows that still violates an invariant under `config`. Returns the
+/// shrunk schedule; `replays_out` (optional) receives the replay count.
+NemesisSchedule ShrinkFailure(const RunConfig& config,
+                              const NemesisSchedule& schedule, size_t budget,
+                              size_t* replays_out = nullptr);
+
+/// \brief Runs the whole sweep. `progress` (optional) is invoked after
+/// every run — the runner binary uses it for per-run log lines.
+using ProgressFn =
+    std::function<void(const RunConfig&, const RunResult&)>;
+SweepReport RunSweep(const SweepOptions& options,
+                     const ProgressFn& progress = nullptr);
+
+}  // namespace pbc::check
+
+#endif  // PBC_CHECK_RUNNER_H_

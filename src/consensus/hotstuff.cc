@@ -100,17 +100,18 @@ void HotStuffReplica::ArmViewTimer() {
     PBC_OBS_TRACE(network()->trace(), network()->now(),
                   obs::TraceKind::kViewChange, id(), id(), "hs-timeout",
                   view_ + 1);
-    EnterView(view_ + 1);
+    EnterView(view_ + 1, /*by_timeout=*/true);
   });
 }
 
-void HotStuffReplica::EnterView(uint64_t view) {
+void HotStuffReplica::EnterView(uint64_t view, bool by_timeout) {
   if (view <= view_) return;
   view_ = view;
   ArmViewTimer();
   auto nv = std::make_shared<HsNewView>();
   nv->view = view_;
   nv->high_qc = high_qc_;
+  nv->timeout = by_timeout;
   nv->sig = Sign(VoteDigest(view_, high_qc_.node_hash));
   Send(LeaderOf(view_), nv);
   MaybePropose();
@@ -120,9 +121,12 @@ void HotStuffReplica::MaybePropose() {
   if (LeaderOf(view_) != id()) return;
   if (proposed_views_.count(view_) > 0) return;
   // Need justification to extend: either a fresh QC for view_-1 (happy
-  // path) or n-f NewView messages for this view (after a timeout).
+  // path) or n-f *timeout* NewView messages for this view. Happy-path
+  // NewViews must not count here: every replica sends one on each view
+  // entry, so they would race the vote quorum and make the leader fork
+  // the chain with a stale justify roughly every other view.
   bool have_newviews =
-      new_views_[view_].size() >= cfg_.n() - cfg_.f;
+      timeout_new_views_[view_].size() >= cfg_.n() - cfg_.f;
   bool have_fresh_qc = high_qc_.view + 1 == view_;
   if (!have_newviews && !have_fresh_qc) return;
   if (!HasPendingWork()) return;
@@ -201,6 +205,11 @@ void HotStuffReplica::HandleProposal(sim::NodeId from, const HsProposal& m) {
   // Vote rule: once per view, and only for safe extensions.
   bool safe = Extends(m.node.hash, locked_qc_.node_hash) ||
               m.node.justify.view > locked_qc_.view;
+  // Client-authenticity check: never vote for fabricated transactions.
+  if (byzantine_mode() == ByzantineMode::kHonest &&
+      !KnownClientTxns(m.node.batch)) {
+    safe = false;
+  }
   if (byzantine_mode() == ByzantineMode::kVoteBoth) safe = true;
   if (m.node.view >= view_ &&
       (m.node.view > last_voted_view_ ||
@@ -236,6 +245,7 @@ void HotStuffReplica::HandleNewView(sim::NodeId from, const HsNewView& m) {
   }
   ProcessQC(m.high_qc);
   new_views_[m.view][from] = m.high_qc;
+  if (m.timeout) timeout_new_views_[m.view].insert(from);
   if (m.view > view_ &&
       new_views_[m.view].size() >= cfg_.f + 1) {
     EnterView(m.view);  // join a pacemaker round we missed
@@ -257,15 +267,21 @@ void HotStuffReplica::TryCommitFrom(const QuorumCert& qc) {
   const HsTreeNode* b2 = NodeOf(qc.node_hash);
   if (b2 == nullptr || b2->depth == 0) return;
 
-  // Locking (two-chain): lock b1.
+  // Locking (two-chain): lock b1. Unlike the decide rule below, locking
+  // must NOT require direct-parent links (Yin et al., Algorithm 4): a
+  // replica locks whenever it sees a two-chain, even across view gaps.
+  // Requiring parent links here leaves replicas under-locked after
+  // timeouts, and under-locked replicas vote for sibling branches that
+  // can then assemble conflicting decided three-chains.
   const HsTreeNode* b1 = NodeOf(b2->justify.node_hash);
-  if (b1 != nullptr && b2->parent == b1->hash &&
-      b2->justify.view > locked_qc_.view) {
+  if (b1 != nullptr && b2->justify.view > locked_qc_.view) {
     locked_qc_ = b2->justify;
   }
   if (b1 == nullptr || b1->depth == 0) return;
   const HsTreeNode* b0 = NodeOf(b1->justify.node_hash);
   if (b0 == nullptr) return;
+  // Decide rule: the justify chain b2→b1→b0 must follow direct parent
+  // links (the views may have gaps — parent links are what matter).
   if (b2->parent != b1->hash || b1->parent != b0->hash) return;
   if (b0->depth == 0 || b0->depth <= committed_depth_) return;
 

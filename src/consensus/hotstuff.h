@@ -54,6 +54,11 @@ struct HsVote : sim::Message {
 struct HsNewView : sim::Message {
   uint64_t view = 0;  ///< the view being entered
   QuorumCert high_qc;
+  /// True when the sender entered `view` because its pacemaker timed out
+  /// (vs. happy-path advancement on a QC). Only timeout NewViews authorize
+  /// the leader's fallback proposal without a fresh QC — otherwise the
+  /// fallback races the vote quorum and forks the happy path.
+  bool timeout = false;
   crypto::Signature sig;
   const char* type() const override { return "hs-newview"; }
 };
@@ -87,7 +92,7 @@ class HotStuffReplica : public Replica {
   void ProcessQC(const QuorumCert& qc);
   /// Applies the three-chain commit rule triggered by a new QC.
   void TryCommitFrom(const QuorumCert& qc);
-  void EnterView(uint64_t view);
+  void EnterView(uint64_t view, bool by_timeout = false);
   void ArmViewTimer();
   bool HasPendingWork() const;
 
@@ -105,6 +110,7 @@ class HotStuffReplica : public Replica {
   std::map<crypto::Hash256, HsTreeNode> tree_;
   std::map<crypto::Hash256, std::set<sim::NodeId>> votes_;
   std::map<uint64_t, std::map<sim::NodeId, QuorumCert>> new_views_;
+  std::map<uint64_t, std::set<sim::NodeId>> timeout_new_views_;
   crypto::Hash256 last_committed_;  ///< deepest committed node
   uint64_t committed_depth_ = 0;
   uint64_t max_tree_depth_ = 0;

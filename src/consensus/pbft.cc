@@ -108,6 +108,12 @@ void PbftReplica::HandlePrePrepare(sim::NodeId from, const PbftPrePrepare& m) {
     return;
   }
   if (m.batch.Digest() != m.digest) return;
+  // Client-authenticity check: refuse batches carrying transactions no
+  // client ever submitted (a Byzantine primary fabricating entries).
+  if (byzantine_mode() == ByzantineMode::kHonest &&
+      !KnownClientTxns(m.batch)) {
+    return;
+  }
 
   Slot& slot = log_[m.seq];
   if (slot.has_preprepare && slot.view == m.view &&

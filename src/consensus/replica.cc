@@ -12,6 +12,7 @@ Replica::Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
       registry_(registry) {}
 
 void Replica::SubmitTransaction(txn::Transaction txn) {
+  seen_ids_.insert(txn.id);
   if (pool_ids_.count(txn.id) > 0 || committed_ids_.count(txn.id) > 0) return;
 #if PBC_OBS_ENABLED
   // Commit-latency bookkeeping, only for metric-attached runs (the map

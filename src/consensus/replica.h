@@ -59,6 +59,19 @@ class Replica : public sim::Node {
   /// Puts a batch's transactions back into the pool (failed proposal).
   void ReturnToPool(const Batch& batch);
 
+  /// Models client-request authenticity: true iff every transaction in
+  /// `batch` was at some point submitted to this replica as a client
+  /// transaction (clients broadcast to all replicas, so honest proposals
+  /// always pass). A transaction fabricated by a Byzantine leader was
+  /// never submitted, so honest replicas refuse to endorse the batch —
+  /// the stand-in for verifying client signatures on requests.
+  bool KnownClientTxns(const Batch& batch) const {
+    for (const auto& t : batch.txns) {
+      if (seen_ids_.count(t.id) == 0) return false;
+    }
+    return true;
+  }
+
   /// Signs a protocol digest with this replica's key.
   crypto::Signature Sign(const crypto::Hash256& digest) const {
     return key_.Sign(digest);
@@ -78,6 +91,7 @@ class Replica : public sim::Node {
   std::deque<txn::Transaction> pool_;
   std::set<txn::TxnId> pool_ids_;
   std::set<txn::TxnId> committed_ids_;
+  std::set<txn::TxnId> seen_ids_;  // everything ever submitted (monotone)
 
   ledger::Chain chain_;
   // Submit timestamps for commit-latency histograms; populated only when

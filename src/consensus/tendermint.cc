@@ -246,6 +246,11 @@ void TendermintReplica::HandleProposal(sim::NodeId from,
   if (m.round == round_ && step_ == Step::kPropose) {
     bool acceptable = locked_round_ < 0 ||
                       (locked_value_ && locked_value_->Digest() == m.digest);
+    // Client-authenticity check: prevote nil on fabricated transactions.
+    if (byzantine_mode() == ByzantineMode::kHonest &&
+        !KnownClientTxns(m.batch)) {
+      acceptable = false;
+    }
     if (byzantine_mode() == ByzantineMode::kVoteBoth) acceptable = true;
     step_ = Step::kPrevote;
     CastVote(/*precommit=*/false,

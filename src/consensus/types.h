@@ -48,11 +48,23 @@ struct ClusterConfig {
   /// Voting power per replica (Tendermint). Empty = equal weights.
   std::vector<uint64_t> voting_power;
 
+  /// TEST-ONLY fault injection: shrinks every quorum by this many votes.
+  /// Production configs must leave it 0 — a slack of 1 re-creates the
+  /// classic off-by-one quorum bug (accepting 2f votes where 2f+1 are
+  /// required), which the src/check invariant sweeps must detect.
+  uint32_t quorum_slack_for_test = 0;
+
   size_t n() const { return replicas.size(); }
-  /// Smallest BFT quorum: 2f+1.
-  size_t BftQuorum() const { return 2 * f + 1; }
-  /// Majority quorum for CFT protocols.
-  size_t MajorityQuorum() const { return replicas.size() / 2 + 1; }
+  /// Smallest BFT quorum: 2f+1 (minus the test-only slack, floored at 1).
+  size_t BftQuorum() const {
+    size_t q = 2 * static_cast<size_t>(f) + 1;
+    return q > quorum_slack_for_test ? q - quorum_slack_for_test : 1;
+  }
+  /// Majority quorum for CFT protocols (minus the test-only slack).
+  size_t MajorityQuorum() const {
+    size_t q = replicas.size() / 2 + 1;
+    return q > quorum_slack_for_test ? q - quorum_slack_for_test : 1;
+  }
   /// Index of a node in `replicas`, or n() if absent.
   size_t IndexOf(sim::NodeId id) const;
   uint64_t TotalPower() const;

@@ -169,6 +169,7 @@ void SharperSystem::MaybeFinish(ShardId s, txn::TxnId id) {
           shard->Apply(ProjectToShard(state.txn, s, num_shards_));
         }
         shard->locks()->UnlockAll(id);
+        if (shard_outcome_listener_) shard_outcome_listener_(s, id, commit);
         if (is_initiator) {
           if (commit) {
             ++stats_.cross_committed;

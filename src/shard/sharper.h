@@ -38,6 +38,14 @@ class SharperSystem {
   void Submit(txn::Transaction txn);
   void set_listener(TxnListener listener) { listener_ = std::move(listener); }
 
+  /// Observation hook for invariant checkers (src/check): fires on EVERY
+  /// involved cluster when it orders its local commit/abort of a
+  /// cross-shard transaction — unlike `set_listener`, which fires once per
+  /// transaction. Never affects protocol behavior.
+  void set_shard_outcome_listener(ShardOutcomeListener listener) {
+    shard_outcome_listener_ = std::move(listener);
+  }
+
   ShardCluster* shard(uint32_t i) { return shards_[i].get(); }
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   const ShardStats& stats() const { return stats_; }
@@ -71,6 +79,7 @@ class SharperSystem {
   std::vector<std::map<txn::TxnId, CrossState>> cross_;
   ShardStats stats_;
   TxnListener listener_;
+  ShardOutcomeListener shard_outcome_listener_;
 };
 
 }  // namespace pbc::shard

@@ -310,6 +310,7 @@ void TwoPhaseShardSystem::ShardOnDecide(ShardId s, txn::TxnId id,
           shard->Apply(ProjectToShard(pit->second, s, config_.num_shards));
         }
         shard->locks()->UnlockAll(id);
+        if (shard_outcome_listener_) shard_outcome_listener_(s, id, commit);
         // The pending entry is shared across shards of this system object;
         // erase only once every involved shard has decided. Simplest safe
         // rule: leave it; ids are unique and memory is bounded by workload.

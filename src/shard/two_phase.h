@@ -34,6 +34,12 @@ namespace pbc::shard {
 /// \brief Outcome callback: (transaction id, committed?).
 using TxnListener = std::function<void(txn::TxnId, bool)>;
 
+/// \brief Per-cluster outcome callback for cross-shard transactions:
+/// (shard, transaction id, committed?). Fires when THAT cluster orders its
+/// local commit/abort — the observation point for the cross-shard
+/// atomicity invariant (no cluster may commit while a sibling aborts).
+using ShardOutcomeListener = std::function<void(ShardId, txn::TxnId, bool)>;
+
 /// \brief Counters for the sharded systems.
 struct ShardStats {
   uint64_t intra_committed = 0;
@@ -88,6 +94,12 @@ class TwoPhaseShardSystem {
 
   void set_listener(TxnListener listener) { listener_ = std::move(listener); }
 
+  /// Observation hook for invariant checkers (src/check); see
+  /// ShardOutcomeListener. Never affects protocol behavior.
+  void set_shard_outcome_listener(ShardOutcomeListener listener) {
+    shard_outcome_listener_ = std::move(listener);
+  }
+
   ShardCluster* shard(uint32_t i) { return shards_[i].get(); }
   ShardCluster* coordinator(uint32_t i) { return coordinators_[i].get(); }
   uint32_t num_shards() const { return config_.num_shards; }
@@ -130,6 +142,7 @@ class TwoPhaseShardSystem {
   std::map<txn::TxnId, txn::Transaction> shard_pending_;  // shard-side
   ShardStats stats_;
   TxnListener listener_;
+  ShardOutcomeListener shard_outcome_listener_;
 };
 
 }  // namespace pbc::shard

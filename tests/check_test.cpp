@@ -1,0 +1,374 @@
+// Unit tests for the simulation-testing subsystem (src/check): each
+// invariant checker against a deliberately broken fake system-under-test,
+// nemesis generation/shrinking, run determinism, the quorum-mutation
+// canary, and replay of the committed seed corpus (tests/seeds.txt).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "check/harness.h"
+#include "check/invariants.h"
+#include "check/nemesis.h"
+#include "check/runner.h"
+#include "ledger/block.h"
+#include "ledger/chain.h"
+
+namespace pbc::check {
+namespace {
+
+txn::Transaction KvTxn(txn::TxnId id) {
+  txn::Transaction t;
+  t.id = id;
+  t.ops.push_back(txn::Op::Write("k" + std::to_string(id % 7), "v"));
+  return t;
+}
+
+// A fake "replica set": hand-built chains a broken implementation might
+// produce. Appends one block per call, chaining correctly.
+void AppendBlock(ledger::Chain* chain, std::vector<txn::Transaction> txns) {
+  ASSERT_TRUE(chain
+                  ->Append(ledger::Block::Make(chain->height(),
+                                               chain->TipHash(),
+                                               std::move(txns)))
+                  .ok());
+}
+
+std::vector<Violation> RunChecker(InvariantChecker* checker) {
+  std::vector<Violation> out;
+  checker->Check(/*now=*/123, &out);
+  return out;
+}
+
+// --- Invariant checkers vs broken fakes ------------------------------------
+
+TEST(ChainAgreementCheckerTest, AcceptsConsistentPrefixes) {
+  ledger::Chain a, b;
+  AppendBlock(&a, {KvTxn(1)});
+  AppendBlock(&a, {KvTxn(2)});
+  AppendBlock(&b, {KvTxn(1)});  // b is one block behind — still a prefix
+  ChainAgreementChecker checker([&] {
+    return std::vector<const ledger::Chain*>{&a, &b};
+  });
+  EXPECT_TRUE(RunChecker(&checker).empty());
+}
+
+TEST(ChainAgreementCheckerTest, CatchesForkedReplicas) {
+  ledger::Chain a, b;
+  AppendBlock(&a, {KvTxn(1)});
+  AppendBlock(&b, {KvTxn(2)});  // same height, different block: a fork
+  ChainAgreementChecker checker([&] {
+    return std::vector<const ledger::Chain*>{&a, &b};
+  });
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("chain-agreement"));
+  EXPECT_EQ(found[0].at, 123u);
+}
+
+TEST(ChainLinkageCheckerTest, CatchesTamperedBlock) {
+  ledger::Chain good, bad;
+  AppendBlock(&good, {KvTxn(1)});
+  AppendBlock(&bad, {KvTxn(1)});
+  AppendBlock(&bad, {KvTxn(2)});
+  // Tamper with history behind the chain's back: the Merkle root in the
+  // stored header no longer matches the transactions.
+  bad.MutableBlockForTest(0)->txns.push_back(KvTxn(99));
+  ChainLinkageChecker checker([&] {
+    return std::vector<const ledger::Chain*>{&good, &bad};
+  });
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].detail.find("replica 1"), std::string::npos);
+  EXPECT_FALSE(checker.periodic());  // full audits are final-only
+}
+
+TEST(CommitValidityCheckerTest, CatchesForeignAndDuplicateTxns) {
+  ledger::Chain chain;
+  AppendBlock(&chain, {KvTxn(1), KvTxn(2)});
+  AppendBlock(&chain, {KvTxn(99), KvTxn(2)});  // 99 foreign, 2 duplicated
+  CommitValidityChecker checker(
+      [&] { return std::vector<const ledger::Chain*>{&chain}; },
+      [](txn::TxnId id) { return id >= 1 && id <= 10; });
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_NE(found[0].detail.find("never submitted"), std::string::npos);
+  EXPECT_NE(found[1].detail.find("more than once"), std::string::npos);
+}
+
+TEST(KvModelCheckerTest, AcceptsIdenticalOrders) {
+  KvModelChecker checker;
+  for (size_t replica = 0; replica < 3; ++replica) {
+    checker.OnCommit(replica, KvTxn(1), 10);
+    checker.OnCommit(replica, KvTxn(2), 20);
+  }
+  EXPECT_TRUE(RunChecker(&checker).empty());
+  EXPECT_EQ(checker.canonical_length(), 2u);
+}
+
+TEST(KvModelCheckerTest, CatchesDivergentCommitOrder) {
+  KvModelChecker checker;
+  checker.OnCommit(0, KvTxn(1), 10);
+  checker.OnCommit(0, KvTxn(2), 20);
+  checker.OnCommit(1, KvTxn(2), 30);  // position 0 holds txn 1, not 2
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("kv-linearizability"));
+  // Violations are drained once reported.
+  EXPECT_TRUE(RunChecker(&checker).empty());
+}
+
+TEST(BalanceConservationCheckerTest, CatchesLeakOnlyWhenSettled) {
+  int64_t total = 0;
+  bool settled = false;
+  BalanceConservationChecker checker([&] { return total; }, int64_t{0},
+                                     [&] { return settled; });
+  total = 5;  // money appeared from nowhere
+  EXPECT_TRUE(RunChecker(&checker).empty());  // gated: not settled yet
+  settled = true;
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].detail.find("5"), std::string::npos);
+  total = 0;
+  EXPECT_TRUE(RunChecker(&checker).empty());
+}
+
+TEST(TokenNoDoubleSpendCheckerTest, CatchesSecondAcceptance) {
+  TokenNoDoubleSpendChecker checker;
+  crypto::Hash256 serial = crypto::Sha256::Digest(std::string("token-1"));
+  checker.OnSpend(serial, /*accepted=*/true, 10);
+  checker.OnSpend(serial, /*accepted=*/false, 20);  // rejected retry: fine
+  EXPECT_TRUE(RunChecker(&checker).empty());
+  checker.OnSpend(serial, /*accepted=*/true, 30);  // double spend
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("token-no-double-spend"));
+  EXPECT_EQ(checker.accepted_spends(), 1u);
+}
+
+TEST(CrossShardAtomicityCheckerTest, CatchesCommitAbortSplit) {
+  CrossShardAtomicityChecker checker;
+  checker.ExpectOutcomes(7, /*involved_clusters=*/2);
+  checker.OnShardOutcome(0, 7, /*commit=*/true, 10);
+  EXPECT_FALSE(checker.AllDecided());
+  checker.OnShardOutcome(1, 7, /*commit=*/false, 20);  // sibling aborts
+  EXPECT_TRUE(checker.AllDecided());
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].detail.find("txn 7"), std::string::npos);
+}
+
+TEST(CheckerSuiteTest, CapsViolationsPerInvariant) {
+  sim::Simulator sim(1);
+  CheckerSuite suite(&sim);
+  int64_t total = 1;  // permanently broken
+  suite.Add(std::make_unique<BalanceConservationChecker>(
+      [&] { return total; }, int64_t{0}));
+  for (size_t i = 0; i < CheckerSuite::kMaxViolationsPerInvariant + 5; ++i) {
+    suite.RunPeriodic();
+  }
+  EXPECT_EQ(suite.violations().size(),
+            CheckerSuite::kMaxViolationsPerInvariant);
+  EXPECT_EQ(suite.coverage().at("balance-conservation"),
+            CheckerSuite::kMaxViolationsPerInvariant + 5);
+}
+
+// --- Nemesis ----------------------------------------------------------------
+
+TEST(NemesisProfileTest, ParsesAndRoundTrips) {
+  NemesisProfile p;
+  ASSERT_TRUE(NemesisProfile::Parse("partition,crash", &p));
+  EXPECT_TRUE(p.crash);
+  EXPECT_TRUE(p.partition);
+  EXPECT_FALSE(p.delay);
+  EXPECT_EQ(p.ToString(), "crash,partition");  // canonical order
+  ASSERT_TRUE(NemesisProfile::Parse("none", &p));
+  EXPECT_EQ(p.ToString(), "none");
+  EXPECT_FALSE(NemesisProfile::Parse("crash,meteor", &p));
+}
+
+NemesisTopology FourNodeTopology() {
+  NemesisTopology topo;
+  topo.groups.push_back({{0, 1, 2, 3}, /*max_faulty=*/1});
+  topo.all_nodes = {0, 1, 2, 3};
+  topo.supports_byzantine = true;
+  return topo;
+}
+
+TEST(NemesisScheduleTest, GenerationIsDeterministic) {
+  NemesisProfile p;
+  ASSERT_TRUE(NemesisProfile::Parse("crash,partition,delay,byzantine", &p));
+  NemesisTopology topo = FourNodeTopology();
+  NemesisSchedule a = NemesisSchedule::Generate(p, topo, 60'000'000, 42);
+  NemesisSchedule b = NemesisSchedule::Generate(p, topo, 60'000'000, 42);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  NemesisSchedule c = NemesisSchedule::Generate(p, topo, 60'000'000, 43);
+  EXPECT_NE(a.Describe(), c.Describe());
+}
+
+TEST(NemesisScheduleTest, WindowsFilterToWellFormedSubsets) {
+  NemesisProfile p;
+  ASSERT_TRUE(NemesisProfile::Parse("crash,partition", &p));
+  NemesisSchedule full =
+      NemesisSchedule::Generate(p, FourNodeTopology(), 60'000'000, 7);
+  std::vector<uint64_t> windows = full.WindowIds();
+  ASSERT_FALSE(windows.empty());
+  // Keeping only the first window keeps exactly its paired events.
+  NemesisSchedule one = full.Filtered({windows[0]});
+  ASSERT_FALSE(one.empty());
+  for (const NemesisEvent& ev : one.events()) {
+    EXPECT_EQ(ev.window, windows[0]);
+  }
+  EXPECT_TRUE(full.Filtered({}).empty());
+}
+
+TEST(NemesisScheduleTest, RespectsCrashBudgetAndNeverCrashList) {
+  NemesisProfile p;
+  ASSERT_TRUE(NemesisProfile::Parse("crash", &p));
+  NemesisTopology topo = FourNodeTopology();
+  topo.never_crash = {3};
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    NemesisSchedule s = NemesisSchedule::Generate(p, topo, 60'000'000, seed);
+    int down = 0;
+    for (const NemesisEvent& ev : s.events()) {
+      if (ev.kind == NemesisKind::kCrash) {
+        EXPECT_NE(ev.node, 3u) << "seed=" << seed;
+        ++down;
+        EXPECT_LE(down, 1) << "seed=" << seed;  // group budget is f=1
+      } else if (ev.kind == NemesisKind::kRecover) {
+        --down;
+      }
+    }
+    EXPECT_EQ(down, 0) << "seed=" << seed;  // every crash recovers
+  }
+}
+
+TEST(ShrinkWindowsTest, FindsMinimalCulpritPair) {
+  std::vector<uint64_t> windows;
+  for (uint64_t i = 1; i <= 10; ++i) windows.push_back(i);
+  size_t calls = 0;
+  auto needs_3_and_7 = [&calls](const std::vector<uint64_t>& ws) {
+    ++calls;
+    bool has3 = false, has7 = false;
+    for (uint64_t w : ws) {
+      if (w == 3) has3 = true;
+      if (w == 7) has7 = true;
+    }
+    return has3 && has7;
+  };
+  std::vector<uint64_t> minimal = ShrinkWindows(windows, needs_3_and_7);
+  EXPECT_EQ(minimal, (std::vector<uint64_t>{3, 7}));
+  EXPECT_LE(calls, 64u);
+}
+
+TEST(ShrinkWindowsTest, EmptyWhenFailureNeedsNoFaults) {
+  std::vector<uint64_t> minimal = ShrinkWindows(
+      {1, 2, 3}, [](const std::vector<uint64_t>&) { return true; });
+  EXPECT_TRUE(minimal.empty());
+}
+
+// --- Harness determinism ----------------------------------------------------
+
+TEST(HarnessTest, SameSeedSameRun) {
+  RunConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.nemesis = "crash,partition";
+  cfg.seed = 5;
+  cfg.txns = 15;
+  RunResult a = RunOne(cfg);
+  RunResult b = RunOne(cfg);
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.sim_end_us, b.sim_end_us);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.schedule.Describe(), b.schedule.Describe());
+}
+
+TEST(HarnessTest, DistinctSeedsDiverge) {
+  RunConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.nemesis = "crash";
+  cfg.txns = 15;
+  cfg.seed = 0;
+  RunResult a = RunOne(cfg);
+  cfg.seed = 1;
+  RunResult b = RunOne(cfg);
+  EXPECT_NE(a.sim_events, b.sim_events);  // different worlds entirely
+}
+
+TEST(HarnessTest, UnknownProtocolReportsConfigViolation) {
+  RunConfig cfg;
+  cfg.protocol = "pow";
+  RunResult r = RunOne(cfg);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].invariant, std::string("config"));
+}
+
+// --- Quorum-mutation canary -------------------------------------------------
+
+// A seeded off-by-one in the quorum rule must be caught by the sweep and
+// shrink to a minimal schedule that still reproduces deterministically.
+// With a 2-of-4 "quorum" a single partition lets both sides of the split
+// commit divergent chains, so the crash,partition profile flushes it out.
+TEST(MutationCanaryTest, BrokenQuorumIsCaughtAndShrinks) {
+  SweepOptions options;
+  options.protocols = {"pbft"};
+  options.nemeses = {"crash,partition"};
+  options.seeds = 10;
+  options.txns = 20;
+  options.quorum_slack = 1;
+  SweepReport report = RunSweep(options);
+  ASSERT_FALSE(report.failures.empty())
+      << "quorum mutation survived the sweep";
+  const SweepFailure& failure = report.failures.front();
+  EXPECT_FALSE(failure.violations.empty());
+  // The shrunk schedule still reproduces the violation when replayed.
+  ASSERT_FALSE(failure.shrunk_schedule.empty());
+  RunResult replay =
+      RunWithSchedule(failure.config, failure.shrunk_schedule);
+  EXPECT_FALSE(replay.ok());
+  // And it is minimal: one partition window suffices to split the brain.
+  EXPECT_EQ(failure.shrunk_windows.size(), 1u);
+}
+
+TEST(MutationCanaryTest, HealthyQuorumPassesSameSweep) {
+  SweepOptions options;
+  options.protocols = {"pbft"};
+  options.nemeses = {"crash,partition"};
+  options.seeds = 10;
+  options.txns = 20;
+  SweepReport report = RunSweep(options);
+  EXPECT_TRUE(report.ok());
+}
+
+// --- Seed corpus ------------------------------------------------------------
+
+// tests/seeds.txt: one "<protocol> <nemesis> <seed>" per line. Seeds that
+// once found a bug (or exercised an interesting schedule) are committed
+// here and replayed on every CTest run.
+TEST(SeedCorpusTest, ReplaysClean) {
+  std::ifstream in(PBC_SEEDS_FILE);
+  ASSERT_TRUE(in.is_open()) << "missing " << PBC_SEEDS_FILE;
+  std::string line;
+  size_t replayed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    RunConfig cfg;
+    ASSERT_TRUE(fields >> cfg.protocol >> cfg.nemesis >> cfg.seed)
+        << "bad corpus line: " << line;
+    cfg.txns = 20;
+    RunResult result = RunOne(cfg);
+    for (const Violation& v : result.violations) {
+      ADD_FAILURE() << "[" << v.invariant << "] " << v.detail
+                    << "\n  corpus line: " << line
+                    << "\n  repro: " << cfg.ReproLine();
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10u) << "corpus unexpectedly small";
+}
+
+}  // namespace
+}  // namespace pbc::check
