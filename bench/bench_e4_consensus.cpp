@@ -6,7 +6,9 @@
 // latency, and messages per committed transaction. Expected shape: PBFT
 // msgs/txn grows ~n², HotStuff ~n; Raft cheapest (no signatures, leader
 // fan-out); Tendermint pays a full round per height.
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "consensus/hotstuff.h"
@@ -26,50 +28,59 @@ constexpr uint64_t kSeed = 42;
 constexpr int kTxns = 200;
 constexpr sim::Time kDeadline = 300'000'000;
 
+constexpr size_t kClusterSizes[] = {4, 7, 13, 25};
+
+// One (protocol, n) cell — pure function of its parameters and kSeed
+// (all metrics are simulated-time), so cells fan out on the scheduler.
+template <typename ReplicaT>
+bench::SeriesRow ConsensusCell(const char* label, size_t n) {
+  SimWorld w(kSeed);
+  consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, n);
+  LatencyTracker tracker(&w.simulator);
+  cluster.replica(0)->set_commit_listener(
+      [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+        for (const auto& t : batch.txns) tracker.Committed(t.id);
+      });
+  w.net.Start();
+  for (int i = 0; i < kTxns; ++i) {
+    auto t = consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 17), "v");
+    tracker.Submitted(t.id);
+    cluster.Submit(t);
+  }
+  bool ok = w.simulator.RunUntil(
+      [&] { return cluster.MinCommitted() >= kTxns; }, kDeadline);
+  sim::Time elapsed = w.simulator.now();
+  double throughput = ok ? static_cast<double>(kTxns) /
+                               (static_cast<double>(elapsed) / 1e6)
+                         : 0.0;
+  double msgs_per_txn =
+      static_cast<double>(w.net.stats().messages_sent) / kTxns;
+
+  bench::SeriesRow row;
+  row.name = std::string(label) + "/n=" + std::to_string(n);
+  row.params = obs::Json::Object();
+  row.params.Set("n", n);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("sim_elapsed_us", elapsed);
+  extra.Set("msgs_per_txn", msgs_per_txn);
+  extra.Set("view_changes", w.metrics.CounterValue("consensus.view_changes"));
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
+
 template <typename ReplicaT>
 void RunConsensus(benchmark::State& state, const char* label) {
-  size_t n = static_cast<size_t>(state.range(0));
-  double throughput = 0, latency = 0, msgs_per_txn = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, n);
-    LatencyTracker tracker(&w.simulator);
-    cluster.replica(0)->set_commit_listener(
-        [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
-          for (const auto& t : batch.txns) tracker.Committed(t.id);
-        });
-    w.net.Start();
-    for (int i = 0; i < kTxns; ++i) {
-      auto t = consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 17), "v");
-      tracker.Submitted(t.id);
-      cluster.Submit(t);
+    std::vector<bench::SeriesCase> cases;
+    for (size_t n : kClusterSizes) {
+      cases.push_back([label, n] { return ConsensusCell<ReplicaT>(label, n); });
     }
-    bool ok = w.simulator.RunUntil(
-        [&] { return cluster.MinCommitted() >= kTxns; }, kDeadline);
-    sim::Time elapsed = w.simulator.now();
-    throughput = ok ? static_cast<double>(kTxns) /
-                          (static_cast<double>(elapsed) / 1e6)
-                    : 0.0;
-    latency = tracker.MeanUs();
-    msgs_per_txn =
-        static_cast<double>(w.net.stats().messages_sent) / kTxns;
-
-    obs::Json params = obs::Json::Object();
-    params.Set("n", n);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    extra.Set("sim_elapsed_us", elapsed);
-    extra.Set("msgs_per_txn", msgs_per_txn);
-    extra.Set("view_changes", w.metrics.CounterValue("consensus.view_changes"));
-    obs::GlobalBenchReport().AddSeries(
-        std::string(label) + "/n=" + std::to_string(n), std::move(params),
-        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
-                                          w.net.stats().messages_sent,
-                                          std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["txn_per_simsec"] = throughput;
-  state.counters["latency_us"] = latency;
-  state.counters["msgs_per_txn"] = msgs_per_txn;
+  state.counters["cells"] = static_cast<double>(std::size(kClusterSizes));
 }
 
 void BM_PBFT(benchmark::State& state) {
@@ -88,13 +99,13 @@ void BM_Paxos(benchmark::State& state) {
   RunConsensus<consensus::PaxosReplica>(state, "Paxos");
 }
 
-#define SWEEP Arg(4)->Arg(7)->Arg(13)->Arg(25)->Iterations(1)
-BENCHMARK(BM_PBFT)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Raft)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Paxos)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_HotStuff)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Tendermint)->SWEEP->Unit(benchmark::kMillisecond);
-#undef SWEEP
+// Each BM fans its whole cluster-size sweep across the scheduler (series
+// rows land in sweep order regardless of completion order).
+BENCHMARK(BM_PBFT)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Raft)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Paxos)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotStuff)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tendermint)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

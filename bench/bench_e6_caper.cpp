@@ -8,7 +8,9 @@
 // workload where EVERY transaction goes through global consensus
 // (single-blockchain deployment). Expected shape: Caper's advantage
 // shrinks as the cross fraction grows; at 100% the two coincide.
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "confidential/caper.h"
@@ -78,109 +80,122 @@ struct CaperWorld {
   LatencyTracker* tracker_;
 };
 
+constexpr int kCrossPercents[] = {0, 10, 30, 50, 100};
+
+// One Caper cell — simulated-time metrics only, so cells fan out on the
+// scheduler.
+bench::SeriesRow CaperCell(int cross_percent) {
+  double cross_frac = static_cast<double>(cross_percent) / 100.0;
+  SimWorld w(kSeed);
+  LatencyTracker tracker(&w.simulator);
+  CaperWorld world(&w, &tracker);
+  w.net.Start();
+  workload::SupplyChain gen(kEnterprises, cross_frac, 9);
+  int internal_sent = 0, cross_sent = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    auto step = gen.Next();
+    tracker.Submitted(step.txn.id);
+    if (step.cross) {
+      world.caper.SubmitCross(step.txn);
+      ++cross_sent;
+    } else {
+      world.caper.SubmitInternal(step.enterprise, step.txn);
+      ++internal_sent;
+    }
+  }
+  bool ok = w.simulator.RunUntil(
+      [&] {
+        return world.caper.internal_committed() +
+                   world.caper.cross_committed() >=
+               static_cast<uint64_t>(kTxns);
+      },
+      kDeadline);
+  double throughput = ok ? static_cast<double>(kTxns) /
+                               (static_cast<double>(w.simulator.now()) / 1e6)
+                         : 0;
+  double global_load =
+      static_cast<double>(world.global->replica(0)->committed_txns());
+
+  bench::SeriesRow row;
+  row.name = "Caper/cross=" + std::to_string(cross_percent);
+  row.params = obs::Json::Object();
+  row.params.Set("cross_frac", cross_frac);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("internal_sent", internal_sent);
+  extra.Set("cross_sent", cross_sent);
+  extra.Set("global_cluster_txns", global_load);
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
+
+// Baseline cell: one blockchain — everything is globally ordered.
+bench::SeriesRow SingleBlockchainCell(int cross_percent) {
+  SimWorld w(kSeed);
+  consensus::Cluster<consensus::PbftReplica> global(
+      &w.net, &w.registry, 4 * kEnterprises, consensus::ClusterConfig{},
+      1000);
+  LatencyTracker tracker(&w.simulator);
+  global.replica(0)->set_commit_listener(
+      [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+        for (const auto& t : batch.txns) tracker.Committed(t.id);
+      });
+  w.net.Start();
+  // The same mix, but every transaction goes to the global cluster
+  // (namespace checks don't apply in the flat deployment).
+  workload::SupplyChain gen(kEnterprises,
+                            static_cast<double>(cross_percent) / 100.0, 9);
+  for (int i = 0; i < kTxns; ++i) {
+    auto t = gen.Next().txn;
+    tracker.Submitted(t.id);
+    global.Submit(std::move(t));
+  }
+  bool ok = w.simulator.RunUntil(
+      [&] { return global.MinCommitted() >= kTxns; }, kDeadline);
+  double throughput = ok ? static_cast<double>(kTxns) /
+                               (static_cast<double>(w.simulator.now()) / 1e6)
+                         : 0;
+
+  bench::SeriesRow row;
+  row.name = "SingleBlockchain/cross=" + std::to_string(cross_percent);
+  row.params = obs::Json::Object();
+  row.params.Set("cross_frac", static_cast<double>(cross_percent) / 100.0);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
+
 void BM_Caper(benchmark::State& state) {
-  double cross_frac = static_cast<double>(state.range(0)) / 100.0;
-  double throughput = 0, global_load = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    LatencyTracker tracker(&w.simulator);
-    CaperWorld world(&w, &tracker);
-    w.net.Start();
-    workload::SupplyChain gen(kEnterprises, cross_frac, 9);
-    int internal_sent = 0, cross_sent = 0;
-    for (int i = 0; i < kTxns; ++i) {
-      auto step = gen.Next();
-      tracker.Submitted(step.txn.id);
-      if (step.cross) {
-        world.caper.SubmitCross(step.txn);
-        ++cross_sent;
-      } else {
-        world.caper.SubmitInternal(step.enterprise, step.txn);
-        ++internal_sent;
-      }
+    std::vector<bench::SeriesCase> cases;
+    for (int cross : kCrossPercents) {
+      cases.push_back([cross] { return CaperCell(cross); });
     }
-    bool ok = w.simulator.RunUntil(
-        [&] {
-          return world.caper.internal_committed() +
-                     world.caper.cross_committed() >=
-                 static_cast<uint64_t>(kTxns);
-        },
-        kDeadline);
-    throughput = ok ? static_cast<double>(kTxns) /
-                          (static_cast<double>(w.simulator.now()) / 1e6)
-                    : 0;
-    global_load =
-        static_cast<double>(world.global->replica(0)->committed_txns());
-    state.counters["msgs_per_txn"] =
-        static_cast<double>(w.net.stats().messages_sent) / kTxns;
-
-    obs::Json params = obs::Json::Object();
-    params.Set("cross_frac", cross_frac);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    extra.Set("internal_sent", internal_sent);
-    extra.Set("cross_sent", cross_sent);
-    extra.Set("global_cluster_txns", global_load);
-    obs::GlobalBenchReport().AddSeries(
-        "Caper/cross=" + std::to_string(state.range(0)), std::move(params),
-        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
-                                          w.net.stats().messages_sent,
-                                          std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["txn_per_simsec"] = throughput;
-  state.counters["global_cluster_txns"] = global_load;
+  state.counters["cells"] = static_cast<double>(std::size(kCrossPercents));
 }
 
-// Baseline: one blockchain — everything is globally ordered.
 void BM_SingleBlockchain(benchmark::State& state) {
-  double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    consensus::Cluster<consensus::PbftReplica> global(
-        &w.net, &w.registry, 4 * kEnterprises, consensus::ClusterConfig{},
-        1000);
-    LatencyTracker tracker(&w.simulator);
-    global.replica(0)->set_commit_listener(
-        [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
-          for (const auto& t : batch.txns) tracker.Committed(t.id);
-        });
-    w.net.Start();
-    // The same mix, but every transaction goes to the global cluster
-    // (namespace checks don't apply in the flat deployment).
-    workload::SupplyChain gen(kEnterprises,
-                              static_cast<double>(state.range(0)) / 100.0,
-                              9);
-    for (int i = 0; i < kTxns; ++i) {
-      auto t = gen.Next().txn;
-      tracker.Submitted(t.id);
-      global.Submit(std::move(t));
+    std::vector<bench::SeriesCase> cases;
+    for (int cross : kCrossPercents) {
+      cases.push_back([cross] { return SingleBlockchainCell(cross); });
     }
-    bool ok = w.simulator.RunUntil(
-        [&] { return global.MinCommitted() >= kTxns; }, kDeadline);
-    throughput = ok ? static_cast<double>(kTxns) /
-                          (static_cast<double>(w.simulator.now()) / 1e6)
-                    : 0;
-    state.counters["msgs_per_txn"] =
-        static_cast<double>(w.net.stats().messages_sent) / kTxns;
-
-    obs::Json params = obs::Json::Object();
-    params.Set("cross_frac", static_cast<double>(state.range(0)) / 100.0);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    obs::GlobalBenchReport().AddSeries(
-        "SingleBlockchain/cross=" + std::to_string(state.range(0)),
-        std::move(params),
-        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
-                                          w.net.stats().messages_sent,
-                                          std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["txn_per_simsec"] = throughput;
+  state.counters["cells"] = static_cast<double>(std::size(kCrossPercents));
 }
 
-#define SWEEP Arg(0)->Arg(10)->Arg(30)->Arg(50)->Arg(100)->Iterations(1)
-BENCHMARK(BM_Caper)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SingleBlockchain)->SWEEP->Unit(benchmark::kMillisecond);
-#undef SWEEP
+// Each BM fans its whole cross-fraction sweep across the scheduler
+// (series rows land in sweep order regardless of completion order).
+BENCHMARK(BM_Caper)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleBlockchain)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -9,7 +9,9 @@
 // (single ledger, full replication). Expected shape: SharPer's throughput
 // grows ~linearly with shards; the single-ledger design pays a global
 // multicast per transaction and flattens out.
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "obs/report.h"
@@ -26,111 +28,127 @@ using bench::SimWorld;
 constexpr uint64_t kSeed = 8;
 constexpr int kTxnsPerShard = 40;
 constexpr sim::Time kDeadline = 600'000'000;
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+// One SharPer cell — simulated-time metrics only, so cells fan out on
+// the scheduler.
+bench::SeriesRow SharperCell(uint32_t shards) {
+  SimWorld w(kSeed);
+  shard::SharperSystem sys(&w.net, &w.registry, shards);
+  LatencyTracker tracker(&w.simulator);
+  size_t done = 0;
+  sys.set_listener([&](txn::TxnId id, bool) {
+    ++done;
+    tracker.Committed(id);
+  });
+  w.net.Start();
+  workload::ShardedTransfers gen(shards, 20, 1000, 0.1, 3);
+  size_t total = 0;
+  for (auto& d : gen.InitialDeposits()) {
+    sys.Submit(std::move(d));
+    ++total;
+  }
+  w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
+  sim::Time start = w.simulator.now();
+  size_t base = done;
+  size_t txns = kTxnsPerShard * shards;
+  // Closed-loop burst: measures capacity, not arrival rate.
+  for (size_t i = 0; i < txns; ++i) {
+    auto t = gen.NextTransfer();
+    tracker.Submitted(t.id);
+    sys.Submit(std::move(t));
+  }
+  bool ok =
+      w.simulator.RunUntil([&] { return done >= base + txns; }, kDeadline);
+  double throughput =
+      ok ? static_cast<double>(txns) /
+               (static_cast<double>(w.simulator.now() - start) / 1e6)
+         : 0;
+
+  shard::ExportShardStats(sys.stats(), &w.metrics);
+  bench::SeriesRow row;
+  row.name = "SharPer/shards=" + std::to_string(shards);
+  row.params = obs::Json::Object();
+  row.params.Set("shards", shards);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("abort_rate", sys.stats().AbortRate());
+  extra.Set("consensus_rounds",
+            w.metrics.CounterValue("shard.consensus_rounds"));
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
+
+// One ResilientDB-style cell (single ledger, full replication).
+bench::SeriesRow ResilientDbCell(uint32_t clusters) {
+  SimWorld w(kSeed);
+  shard::ResilientDbSystem sys(&w.net, &w.registry, clusters);
+  LatencyTracker tracker(&w.simulator);
+  size_t done = 0;
+  sys.set_listener([&](txn::TxnId id, bool) {
+    ++done;
+    tracker.Committed(id);
+  });
+  w.net.Start();
+  // Same aggregate load, spread across clusters round-robin; the ledger
+  // is single, so "cross-shard" has no meaning here.
+  workload::ShardedTransfers gen(clusters, 20, 1000, 0.1, 3);
+  size_t txns = kTxnsPerShard * clusters;
+  sim::Time start = w.simulator.now();
+  for (size_t i = 0; i < txns; ++i) {
+    auto t = gen.NextTransfer();
+    tracker.Submitted(t.id);
+    sys.Submit(static_cast<uint32_t>(i % clusters), std::move(t));
+  }
+  bool ok = w.simulator.RunUntil([&] { return done >= txns; }, kDeadline);
+  double throughput =
+      ok ? static_cast<double>(txns) /
+               (static_cast<double>(w.simulator.now() - start) / 1e6)
+         : 0;
+
+  bench::SeriesRow row;
+  row.name = "ResilientDB/clusters=" + std::to_string(clusters);
+  row.params = obs::Json::Object();
+  row.params.Set("clusters", clusters);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("executed", sys.executed());
+  extra.Set("consensus_rounds",
+            w.metrics.CounterValue("shard.consensus_rounds"));
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
 
 void BM_SharPer(benchmark::State& state) {
-  uint32_t shards = static_cast<uint32_t>(state.range(0));
-  double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    shard::SharperSystem sys(&w.net, &w.registry, shards);
-    LatencyTracker tracker(&w.simulator);
-    size_t done = 0;
-    sys.set_listener([&](txn::TxnId id, bool) {
-      ++done;
-      tracker.Committed(id);
-    });
-    w.net.Start();
-    workload::ShardedTransfers gen(shards, 20, 1000, 0.1, 3);
-    size_t total = 0;
-    for (auto& d : gen.InitialDeposits()) {
-      sys.Submit(std::move(d));
-      ++total;
+    std::vector<bench::SeriesCase> cases;
+    for (uint32_t shards : kShardCounts) {
+      cases.push_back([shards] { return SharperCell(shards); });
     }
-    w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
-    sim::Time start = w.simulator.now();
-    size_t base = done;
-    size_t txns = kTxnsPerShard * shards;
-    // Closed-loop burst: measures capacity, not arrival rate.
-    for (size_t i = 0; i < txns; ++i) {
-      auto t = gen.NextTransfer();
-      tracker.Submitted(t.id);
-      sys.Submit(std::move(t));
-    }
-    bool ok = w.simulator.RunUntil(
-        [&] { return done >= base + txns; }, kDeadline);
-    throughput =
-        ok ? static_cast<double>(txns) /
-                 (static_cast<double>(w.simulator.now() - start) / 1e6)
-           : 0;
-
-    shard::ExportShardStats(sys.stats(), &w.metrics);
-    obs::Json params = obs::Json::Object();
-    params.Set("shards", shards);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    extra.Set("abort_rate", sys.stats().AbortRate());
-    extra.Set("consensus_rounds",
-              w.metrics.CounterValue("shard.consensus_rounds"));
-    obs::GlobalBenchReport().AddSeries(
-        "SharPer/shards=" + std::to_string(shards), std::move(params),
-        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
-                                          w.net.stats().messages_sent,
-                                          std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["txn_per_simsec"] = throughput;
+  state.counters["cells"] = static_cast<double>(std::size(kShardCounts));
 }
 
 void BM_ResilientDB(benchmark::State& state) {
-  uint32_t clusters = static_cast<uint32_t>(state.range(0));
-  double throughput = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    shard::ResilientDbSystem sys(&w.net, &w.registry, clusters);
-    LatencyTracker tracker(&w.simulator);
-    size_t done = 0;
-    sys.set_listener([&](txn::TxnId id, bool) {
-      ++done;
-      tracker.Committed(id);
-    });
-    w.net.Start();
-    // Same aggregate load, spread across clusters round-robin; the ledger
-    // is single, so "cross-shard" has no meaning here.
-    workload::ShardedTransfers gen(clusters, 20, 1000, 0.1, 3);
-    size_t txns = kTxnsPerShard * clusters;
-    sim::Time start = w.simulator.now();
-    for (size_t i = 0; i < txns; ++i) {
-      auto t = gen.NextTransfer();
-      tracker.Submitted(t.id);
-      sys.Submit(static_cast<uint32_t>(i % clusters), std::move(t));
+    std::vector<bench::SeriesCase> cases;
+    for (uint32_t clusters : kShardCounts) {
+      cases.push_back([clusters] { return ResilientDbCell(clusters); });
     }
-    bool ok =
-        w.simulator.RunUntil([&] { return done >= txns; }, kDeadline);
-    throughput =
-        ok ? static_cast<double>(txns) /
-                 (static_cast<double>(w.simulator.now() - start) / 1e6)
-           : 0;
-
-    obs::Json params = obs::Json::Object();
-    params.Set("clusters", clusters);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    extra.Set("executed", sys.executed());
-    extra.Set("consensus_rounds",
-              w.metrics.CounterValue("shard.consensus_rounds"));
-    obs::GlobalBenchReport().AddSeries(
-        "ResilientDB/clusters=" + std::to_string(clusters),
-        std::move(params),
-        obs::BenchReport::StandardMetrics(throughput, tracker.hist(),
-                                          w.net.stats().messages_sent,
-                                          std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["txn_per_simsec"] = throughput;
+  state.counters["cells"] = static_cast<double>(std::size(kShardCounts));
 }
 
-#define SWEEP Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
-BENCHMARK(BM_SharPer)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ResilientDB)->SWEEP->Unit(benchmark::kMillisecond);
-#undef SWEEP
+// Each BM fans its whole shard-count sweep across the scheduler (series
+// rows land in sweep order regardless of completion order).
+BENCHMARK(BM_SharPer)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ResilientDB)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -10,7 +10,9 @@
 // Saguaro (LCA coordinator on a WAN-like tree). Expected shape: SharPer <
 // Saguaro < AHL in messages; Saguaro beats AHL on latency because nearby
 // fog coordinators replace the far-away committee.
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "obs/report.h"
@@ -45,65 +47,75 @@ void SetupWan(SimWorld* w, System* sys, bool root_is_far,
   (void)sys;
 }
 
+constexpr int kCrossPercents[] = {0, 10, 30, 50, 100};
+
+// One (system, cross-fraction) cell — simulated-time metrics only, so
+// cells fan out on the scheduler.
+template <typename MakeSystem>
+bench::SeriesRow CrossCell(const char* label, MakeSystem make,
+                           int cross_percent) {
+  double cross_frac = static_cast<double>(cross_percent) / 100.0;
+  SimWorld w(kSeed);
+  auto sys = make(&w);
+  LatencyTracker tracker(&w.simulator);
+  size_t done = 0;
+  sys->set_listener([&](txn::TxnId id, bool) {
+    tracker.Committed(id);
+    ++done;
+  });
+  w.net.Start();
+  workload::ShardedTransfers gen(kShards, 20, 1000, cross_frac, 4);
+  size_t total = 0;
+  for (auto& d : gen.InitialDeposits()) {
+    sys->Submit(std::move(d));
+    ++total;
+  }
+  w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
+  w.net.ResetStats();
+  size_t base = done;
+  // Open-loop arrivals every 5 ms: keeps no-wait 2PL lock conflicts from
+  // dominating the latency comparison.
+  for (int i = 0; i < kTxns; ++i) {
+    w.simulator.Schedule(
+        static_cast<sim::Time>(i) * 5000,
+        [&sys, &tracker, t = gen.NextTransfer()]() mutable {
+          tracker.Submitted(t.id);
+          sys->Submit(std::move(t));
+        });
+  }
+  bool ok =
+      w.simulator.RunUntil([&] { return done >= base + kTxns; }, kDeadline);
+  double msgs = static_cast<double>(w.net.stats().messages_sent) / kTxns;
+
+  shard::ExportShardStats(sys->stats(), &w.metrics);
+  bench::SeriesRow row;
+  row.name = std::string(label) + "/cross=" + std::to_string(cross_percent);
+  row.params = obs::Json::Object();
+  row.params.Set("cross_frac", cross_frac);
+  row.params.Set("shards", kShards);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("msgs_per_txn", msgs);
+  extra.Set("abort_rate", sys->stats().AbortRate());
+  extra.Set("consensus_rounds",
+            w.metrics.CounterValue("shard.consensus_rounds"));
+  row.metrics = obs::BenchReport::StandardMetrics(
+      /*throughput_txn_per_s=*/0.0, tracker.hist(),
+      w.net.stats().messages_sent, std::move(extra), &w.metrics);
+  return row;
+}
+
 template <typename MakeSystem>
 void RunCross(benchmark::State& state, const char* label, MakeSystem make) {
-  double cross_frac = static_cast<double>(state.range(0)) / 100.0;
-  double latency = 0, msgs = 0, committed = 0;
   for (auto _ : state) {
-    SimWorld w(kSeed);
-    auto sys = make(&w);
-    LatencyTracker tracker(&w.simulator);
-    size_t done = 0;
-    sys->set_listener([&](txn::TxnId id, bool) {
-      tracker.Committed(id);
-      ++done;
-    });
-    w.net.Start();
-    workload::ShardedTransfers gen(kShards, 20, 1000, cross_frac, 4);
-    size_t total = 0;
-    for (auto& d : gen.InitialDeposits()) {
-      sys->Submit(std::move(d));
-      ++total;
+    std::vector<bench::SeriesCase> cases;
+    for (int cross : kCrossPercents) {
+      cases.push_back(
+          [label, make, cross] { return CrossCell(label, make, cross); });
     }
-    w.simulator.RunUntil([&] { return done >= total; }, kDeadline);
-    w.net.ResetStats();
-    size_t base = done;
-    // Open-loop arrivals every 5 ms: keeps no-wait 2PL lock conflicts from
-    // dominating the latency comparison.
-    for (int i = 0; i < kTxns; ++i) {
-      w.simulator.Schedule(
-          static_cast<sim::Time>(i) * 5000,
-          [&sys, &tracker, t = gen.NextTransfer()]() mutable {
-            tracker.Submitted(t.id);
-            sys->Submit(std::move(t));
-          });
-    }
-    bool ok = w.simulator.RunUntil(
-        [&] { return done >= base + kTxns; }, kDeadline);
-    latency = tracker.MeanUs();
-    msgs = static_cast<double>(w.net.stats().messages_sent) / kTxns;
-    committed = ok ? 1 : 0;
-
-    shard::ExportShardStats(sys->stats(), &w.metrics);
-    obs::Json params = obs::Json::Object();
-    params.Set("cross_frac", cross_frac);
-    params.Set("shards", kShards);
-    obs::Json extra = obs::Json::Object();
-    extra.Set("completed", ok);
-    extra.Set("msgs_per_txn", msgs);
-    extra.Set("abort_rate", sys->stats().AbortRate());
-    extra.Set("consensus_rounds",
-              w.metrics.CounterValue("shard.consensus_rounds"));
-    obs::GlobalBenchReport().AddSeries(
-        std::string(label) + "/cross=" + std::to_string(state.range(0)),
-        std::move(params),
-        obs::BenchReport::StandardMetrics(
-            /*throughput_txn_per_s=*/0.0, tracker.hist(),
-            w.net.stats().messages_sent, std::move(extra), &w.metrics));
+    bench::FanSeries(std::move(cases));
   }
-  state.counters["latency_us"] = latency;
-  state.counters["msgs_per_txn"] = msgs;
-  state.counters["completed"] = committed;
+  state.counters["cells"] = static_cast<double>(std::size(kCrossPercents));
 }
 
 void BM_AHL(benchmark::State& state) {
@@ -133,11 +145,11 @@ void BM_Saguaro(benchmark::State& state) {
   });
 }
 
-#define SWEEP Arg(0)->Arg(10)->Arg(30)->Arg(50)->Arg(100)->Iterations(1)
-BENCHMARK(BM_AHL)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SharPer)->SWEEP->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Saguaro)->SWEEP->Unit(benchmark::kMillisecond);
-#undef SWEEP
+// Each BM fans its whole cross-fraction sweep across the scheduler
+// (series rows land in sweep order regardless of completion order).
+BENCHMARK(BM_AHL)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SharPer)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Saguaro)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,63 @@
+#include "bench/bench_harness.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "obs/report.h"
+
+namespace pbc::bench {
+namespace {
+
+size_t BenchJobs() {
+  if (const char* env = std::getenv("PBC_BENCH_JOBS")) {
+    size_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return ThreadPool::DefaultParallelism();
+}
+
+std::unique_ptr<ThreadPool>& PoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& BenchPool() {
+  std::unique_ptr<ThreadPool>& slot = PoolSlot();
+  if (!slot) {
+    ThreadPool::Options options;
+    options.num_threads = BenchJobs();
+    slot = std::make_unique<ThreadPool>(options);
+  }
+  return *slot;
+}
+
+void FanSeries(std::vector<SeriesCase> cases) {
+  std::vector<SeriesRow> rows(cases.size());
+  ThreadPool& pool = BenchPool();
+  TaskGroup group;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    pool.Submit(&group, [&rows, &cases, i] { rows[i] = cases[i](); });
+  }
+  pool.Wait(&group);
+  for (SeriesRow& row : rows) {
+    obs::GlobalBenchReport().AddSeries(row.name, std::move(row.params),
+                                       std::move(row.metrics));
+  }
+}
+
+void AttachSchedulerStats() {
+  std::unique_ptr<ThreadPool>& slot = PoolSlot();
+  if (!slot) return;
+  ThreadPool::Stats stats = slot->stats();
+  obs::Json j = obs::Json::Object();
+  j.Set("workers", static_cast<uint64_t>(slot->num_threads()));
+  j.Set("jobs_run", stats.jobs_run);
+  j.Set("steals", stats.steals);
+  j.Set("max_queue_depth", stats.max_queue_depth);
+  obs::GlobalBenchReport().SetScheduler(std::move(j));
+}
+
+}  // namespace pbc::bench

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "bench/bench_harness.h"
 #include "consensus/cluster.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -118,6 +119,7 @@ inline void SampleAndEmit(const std::string& name, size_t n,
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
     ::benchmark::RunSpecifiedBenchmarks();                                \
     ::benchmark::Shutdown();                                              \
+    ::pbc::bench::AttachSchedulerStats();                                 \
     std::string path = ::pbc::obs::GlobalBenchReport().Write();           \
     if (!path.empty()) {                                                  \
       std::fprintf(stderr, "bench report: %s\n", path.c_str());           \

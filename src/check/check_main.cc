@@ -37,6 +37,10 @@ void Usage() {
       "  --mutate-quorum N     TEST-ONLY quorum slack; sweeps must catch\n"
       "  --no-shrink           report failures without shrinking\n"
       "  --shrink-budget N     max replays per failure (default 32)\n"
+      "  --jobs N              worker threads (default: hardware\n"
+      "                        concurrency; 1 = serial). The report is\n"
+      "                        byte-identical for every N; only wall_ms\n"
+      "                        changes\n"
       "  --report PATH         write the JSON report to PATH\n"
       "  --quiet               no per-run progress lines\n");
 }
@@ -57,6 +61,7 @@ std::vector<std::string> SplitList(const std::string& s, char sep) {
 
 int main(int argc, char** argv) {
   pbc::check::SweepOptions options;
+  options.jobs = 0;  // CLI default: hardware concurrency (library: serial)
   std::string report_path;
   bool quiet = false;
 
@@ -96,6 +101,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (!std::strcmp(arg, "--shrink-budget")) {
       options.shrink_budget = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--jobs")) {
+      options.jobs = std::strtoull(need_value(i++), nullptr, 10);
     } else if (!std::strcmp(arg, "--report")) {
       report_path = need_value(i++);
     } else if (!std::strcmp(arg, "--quiet")) {
@@ -116,6 +123,8 @@ int main(int argc, char** argv) {
   }
 
   auto t0 = std::chrono::steady_clock::now();
+  pbc::obs::MetricsRegistry scheduler_metrics;
+  options.scheduler_metrics = &scheduler_metrics;
   pbc::check::ProgressFn progress;
   if (!quiet) {
     progress = [](const pbc::check::RunConfig& cfg,
@@ -137,6 +146,25 @@ int main(int argc, char** argv) {
   std::printf("check_runner: %zu runs, %zu live, %zu violating (%lld ms)\n",
               report.runs, report.live_runs, report.failures.size(),
               static_cast<long long>(wall_ms));
+  if (!quiet && scheduler_metrics.CounterValue("scheduler.jobs_run") > 0) {
+    // Scheduler counters are wall-clock-dependent, so they go to stderr,
+    // never into the (byte-deterministic) JSON report.
+    std::fprintf(
+        stderr,
+        "scheduler: %llu jobs across %lld workers, %llu steals, "
+        "%llu cancelled, max queue depth %lld\n",
+        static_cast<unsigned long long>(
+            scheduler_metrics.CounterValue("scheduler.jobs_run")),
+        static_cast<long long>(
+            scheduler_metrics.FindGauge("scheduler.workers")->value()),
+        static_cast<unsigned long long>(
+            scheduler_metrics.CounterValue("scheduler.steals")),
+        static_cast<unsigned long long>(
+            scheduler_metrics.CounterValue("scheduler.cancelled")),
+        static_cast<long long>(
+            scheduler_metrics.FindGauge("scheduler.max_queue_depth")
+                ->value()));
+  }
   for (const std::string& line : report.not_live) {
     std::printf("  not live (no violation): %s\n", line.c_str());
   }

@@ -1,6 +1,7 @@
 #include "check/nemesis.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 
 namespace pbc::check {
@@ -395,24 +396,54 @@ std::string NemesisSchedule::Describe() const {
 
 // --- Shrinking -------------------------------------------------------------
 
+ShrinkBatchProbe SerialShrinkProbe(
+    std::function<bool(const std::vector<uint64_t>&)> reproduces) {
+  return [reproduces = std::move(reproduces)](
+             const std::vector<std::vector<uint64_t>>& candidates,
+             size_t max_probes, size_t* probes_charged) -> size_t {
+    size_t limit = std::min(candidates.size(), max_probes);
+    for (size_t i = 0; i < limit; ++i) {
+      if (reproduces(candidates[i])) {
+        *probes_charged = i + 1;
+        return i;
+      }
+    }
+    *probes_charged = limit;
+    return SIZE_MAX;
+  };
+}
+
 std::vector<uint64_t> ShrinkWindows(
     std::vector<uint64_t> windows,
     const std::function<bool(const std::vector<uint64_t>&)>& reproduces,
     size_t budget) {
-  size_t calls = 0;
-  auto try_repro = [&](const std::vector<uint64_t>& candidate) {
-    if (calls >= budget) return false;
-    ++calls;
-    return reproduces(candidate);
-  };
+  return ShrinkWindowsBatched(std::move(windows), SerialShrinkProbe(reproduces),
+                              budget);
+}
+
+std::vector<uint64_t> ShrinkWindowsBatched(std::vector<uint64_t> windows,
+                                           const ShrinkBatchProbe& probe,
+                                           size_t budget) {
   if (windows.empty()) return windows;
-  if (try_repro({})) return {};
+  size_t calls = 0;
+  auto probe_round =
+      [&](const std::vector<std::vector<uint64_t>>& candidates) -> size_t {
+    size_t charged = 0;
+    size_t idx = probe(candidates, budget - calls, &charged);
+    calls += charged;
+    return idx;
+  };
+  if (probe_round({{}}) == 0) return {};
 
   std::vector<uint64_t> current = windows;
   size_t granularity = 2;
   while (current.size() >= 2 && calls < budget) {
+    // One ddmin round: every "drop one chunk" complement at the current
+    // granularity. The probe picks the first reproducing candidate —
+    // exactly what the serial scan-and-break did, but batched so the
+    // parallel engine can evaluate a whole round concurrently.
     size_t chunk = (current.size() + granularity - 1) / granularity;
-    bool reduced = false;
+    std::vector<std::vector<uint64_t>> candidates;
     for (size_t start = 0; start < current.size(); start += chunk) {
       std::vector<uint64_t> candidate;
       candidate.reserve(current.size());
@@ -420,14 +451,13 @@ std::vector<uint64_t> ShrinkWindows(
         if (i < start || i >= start + chunk) candidate.push_back(current[i]);
       }
       if (candidate.size() == current.size() || candidate.empty()) continue;
-      if (try_repro(candidate)) {
-        current = std::move(candidate);
-        granularity = std::max<size_t>(2, granularity - 1);
-        reduced = true;
-        break;
-      }
+      candidates.push_back(std::move(candidate));
     }
-    if (!reduced) {
+    size_t first = probe_round(candidates);
+    if (first != SIZE_MAX) {
+      current = std::move(candidates[first]);
+      granularity = std::max<size_t>(2, granularity - 1);
+    } else {
       if (granularity >= current.size()) break;
       granularity = std::min(current.size(), granularity * 2);
     }

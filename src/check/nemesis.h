@@ -144,6 +144,33 @@ std::vector<uint64_t> ShrinkWindows(
     const std::function<bool(const std::vector<uint64_t>&)>& reproduces,
     size_t budget = 64);
 
+/// \brief Batch probe for one ddmin round: decides which of `candidates`
+/// is the first (lowest-index) that still reproduces the failure.
+///
+/// Returns that index, or SIZE_MAX if none of the first
+/// min(candidates.size(), max_probes) candidates reproduces. Sets
+/// *probes_charged to the number of probes a serial left-to-right scan
+/// would consume: first_index + 1 on success, else the number evaluated.
+/// Implementations may probe later candidates speculatively/concurrently
+/// (the parallel sweep engine does), but must return the *lowest*
+/// reproducing index and charge serially — that keeps the shrunk windows
+/// and replay counts in sweep reports byte-identical however many worker
+/// threads executed the probes.
+using ShrinkBatchProbe = std::function<size_t(
+    const std::vector<std::vector<uint64_t>>& candidates, size_t max_probes,
+    size_t* probes_charged)>;
+
+/// \brief Adapts a plain reproduces() predicate into a serial batch probe.
+ShrinkBatchProbe SerialShrinkProbe(
+    std::function<bool(const std::vector<uint64_t>&)> reproduces);
+
+/// \brief The ddmin core shared by serial and parallel shrinking: the
+/// round structure (candidate generation, granularity schedule, budget)
+/// lives here; `probe` decides how a round's candidates are evaluated.
+std::vector<uint64_t> ShrinkWindowsBatched(std::vector<uint64_t> windows,
+                                           const ShrinkBatchProbe& probe,
+                                           size_t budget = 64);
+
 }  // namespace pbc::check
 
 #endif  // PBC_CHECK_NEMESIS_H_

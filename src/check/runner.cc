@@ -1,7 +1,11 @@
 #include "check/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <set>
+#include <utility>
 
 namespace pbc::check {
 
@@ -83,54 +87,199 @@ obs::Json SweepReport::ToJson() const {
       .Set("not_live", std::move(stragglers));
 }
 
+namespace {
+
+/// Probes one ddmin round's candidates concurrently. Every probe replays
+/// the run — a full simulation — so probes fan out as pool jobs, each
+/// guarded by its own CancellationToken. When a candidate reproduces,
+/// probes for *later* candidates are cancelled (cooperatively: ones that
+/// already started run to completion; RunWithSchedule is not
+/// interruptible). Earlier candidates always complete, so the returned
+/// index is the lowest reproducing one — exactly what the serial
+/// left-to-right scan returns — and the charged replay count matches the
+/// serial scan too. That equivalence is what keeps sweep reports
+/// byte-identical across --jobs values.
+ShrinkBatchProbe ParallelShrinkProbe(const RunConfig& config,
+                                     const NemesisSchedule& schedule,
+                                     ThreadPool* pool) {
+  return [&config, &schedule, pool](
+             const std::vector<std::vector<uint64_t>>& candidates,
+             size_t max_probes, size_t* probes_charged) -> size_t {
+    size_t limit = std::min(candidates.size(), max_probes);
+    if (limit == 0) {
+      *probes_charged = 0;
+      return SIZE_MAX;
+    }
+    std::vector<CancellationToken> tokens(limit);
+    std::atomic<size_t> first{SIZE_MAX};
+    TaskGroup group;
+    for (size_t j = 0; j < limit; ++j) {
+      pool->Submit(&group, tokens[j], [&, j] {
+        RunResult r =
+            RunWithSchedule(config, schedule.Filtered(candidates[j]));
+        if (!r.ok()) {
+          size_t cur = first.load();
+          while (j < cur && !first.compare_exchange_weak(cur, j)) {
+          }
+          for (size_t k = j + 1; k < limit; ++k) tokens[k].Cancel();
+        }
+      });
+    }
+    pool->Wait(&group);
+    size_t idx = first.load();
+    *probes_charged = idx == SIZE_MAX ? limit : idx + 1;
+    return idx;
+  };
+}
+
+/// Outcome of one sweep cell, kept per-index so parallel runs merge into
+/// the report in deterministic cell order regardless of completion order.
+struct CellOutcome {
+  bool ok = true;
+  bool live = false;
+  std::map<std::string, uint64_t> coverage;
+  SweepFailure failure;  // filled only when !ok
+  std::string repro;     // filled only when ok && !live
+};
+
+CellOutcome RunCell(const RunConfig& cell, const SweepOptions& options,
+                    ThreadPool* pool, const ProgressFn& progress,
+                    std::mutex* progress_mu) {
+  RunResult result = RunOne(cell);
+  if (progress) {
+    if (progress_mu != nullptr) {
+      std::lock_guard<std::mutex> lock(*progress_mu);
+      progress(cell, result);
+    } else {
+      progress(cell, result);
+    }
+  }
+  CellOutcome out;
+  out.ok = result.ok();
+  out.live = result.live;
+  out.coverage = result.coverage;
+  if (!out.ok) {
+    SweepFailure& failure = out.failure;
+    failure.config = cell;
+    failure.violations = result.violations;
+    failure.live = result.live;
+    if (options.shrink) {
+      failure.shrunk_schedule =
+          ShrinkFailure(cell, result.schedule, options.shrink_budget,
+                        &failure.shrink_replays, pool);
+    } else {
+      failure.shrunk_schedule = result.schedule;
+    }
+    failure.shrunk_windows = failure.shrunk_schedule.WindowIds();
+  } else if (!out.live) {
+    out.repro = cell.ReproLine();
+  }
+  return out;
+}
+
+void ExportSchedulerMetrics(const ThreadPool& pool,
+                            obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  ThreadPool::Stats stats = pool.stats();
+  registry->GetCounter("scheduler.jobs_run")->Add(stats.jobs_run);
+  registry->GetCounter("scheduler.steals")->Add(stats.steals);
+  registry->GetCounter("scheduler.cancelled")->Add(stats.cancelled);
+  registry->GetGauge("scheduler.max_queue_depth")
+      ->Set(static_cast<int64_t>(stats.max_queue_depth));
+  registry->GetGauge("scheduler.workers")
+      ->Set(static_cast<int64_t>(pool.num_threads()));
+  for (size_t w = 0; w < stats.jobs_per_worker.size(); ++w) {
+    std::string prefix = "scheduler.worker" + std::to_string(w);
+    registry->GetCounter(prefix + ".jobs_run")
+        ->Add(stats.jobs_per_worker[w]);
+    registry->GetCounter(prefix + ".steals")->Add(stats.steals_per_worker[w]);
+  }
+}
+
+}  // namespace
+
 NemesisSchedule ShrinkFailure(const RunConfig& config,
                               const NemesisSchedule& schedule, size_t budget,
-                              size_t* replays_out) {
+                              size_t* replays_out, ThreadPool* pool) {
   size_t replays = 0;
-  auto reproduces = [&config, &schedule,
-                     &replays](const std::vector<uint64_t>& windows) {
-    ++replays;
-    RunResult r = RunWithSchedule(config, schedule.Filtered(windows));
-    return !r.ok();
-  };
-  std::vector<uint64_t> minimal =
-      ShrinkWindows(schedule.WindowIds(), reproduces, budget);
+  std::vector<uint64_t> minimal;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    ShrinkBatchProbe probe = ParallelShrinkProbe(config, schedule, pool);
+    minimal = ShrinkWindowsBatched(
+        schedule.WindowIds(),
+        [&replays, &probe](const std::vector<std::vector<uint64_t>>& cands,
+                           size_t max_probes, size_t* charged) {
+          size_t idx = probe(cands, max_probes, charged);
+          replays += *charged;
+          return idx;
+        },
+        budget);
+  } else {
+    auto reproduces = [&config, &schedule,
+                       &replays](const std::vector<uint64_t>& windows) {
+      ++replays;
+      RunResult r = RunWithSchedule(config, schedule.Filtered(windows));
+      return !r.ok();
+    };
+    minimal = ShrinkWindows(schedule.WindowIds(), reproduces, budget);
+  }
   if (replays_out) *replays_out = replays;
   return schedule.Filtered(minimal);
 }
 
-SweepReport RunSweep(const SweepOptions& options, const ProgressFn& progress) {
+SweepReport RunSweepCells(const std::vector<RunConfig>& cells,
+                          const SweepOptions& options,
+                          const ProgressFn& progress) {
+  size_t jobs =
+      options.jobs == 0 ? ThreadPool::DefaultParallelism() : options.jobs;
+  jobs = std::max<size_t>(1, std::min(jobs, cells.size()));
+
+  std::vector<CellOutcome> outcomes(cells.size());
+  if (jobs <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      outcomes[i] = RunCell(cells[i], options, nullptr, progress, nullptr);
+    }
+  } else {
+    ThreadPool pool(ThreadPool::Options{jobs, 0});
+    std::mutex progress_mu;
+    TaskGroup group;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      pool.Submit(&group, [&, i] {
+        outcomes[i] = RunCell(cells[i], options, &pool, progress, &progress_mu);
+      });
+    }
+    pool.Wait(&group);
+    ExportSchedulerMetrics(pool, options.scheduler_metrics);
+  }
+
+  // Deterministic merge: cell order, never completion order. Everything
+  // in the report is a pure function of (cells, options).
   SweepReport report;
-  for (RunConfig cell : options.Expand()) {
-    for (size_t i = 0; i < options.seeds; ++i) {
-      cell.seed = options.seed_base + i;
-      RunResult result = RunOne(cell);
-      ++report.runs;
-      if (result.live) ++report.live_runs;
-      for (const auto& [name, count] : result.coverage) {
-        report.coverage[name] += count;
-      }
-      if (!result.ok()) {
-        SweepFailure failure;
-        failure.config = cell;
-        failure.violations = result.violations;
-        failure.live = result.live;
-        if (options.shrink) {
-          failure.shrunk_schedule =
-              ShrinkFailure(cell, result.schedule, options.shrink_budget,
-                            &failure.shrink_replays);
-        } else {
-          failure.shrunk_schedule = result.schedule;
-        }
-        failure.shrunk_windows = failure.shrunk_schedule.WindowIds();
-        report.failures.push_back(std::move(failure));
-      } else if (!result.live) {
-        report.not_live.push_back(cell.ReproLine());
-      }
-      if (progress) progress(cell, result);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CellOutcome& out = outcomes[i];
+    ++report.runs;
+    if (out.live) ++report.live_runs;
+    for (const auto& [name, count] : out.coverage) {
+      report.coverage[name] += count;
+    }
+    if (!out.ok) {
+      report.failures.push_back(std::move(out.failure));
+    } else if (!out.live) {
+      report.not_live.push_back(std::move(out.repro));
     }
   }
   return report;
+}
+
+SweepReport RunSweep(const SweepOptions& options, const ProgressFn& progress) {
+  std::vector<RunConfig> cells;
+  for (RunConfig cell : options.Expand()) {
+    for (size_t i = 0; i < options.seeds; ++i) {
+      cell.seed = options.seed_base + i;
+      cells.push_back(cell);
+    }
+  }
+  return RunSweepCells(cells, options, progress);
 }
 
 }  // namespace pbc::check

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "check/harness.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace pbc::check {
 
@@ -32,6 +34,18 @@ struct SweepOptions {
   bool shrink = true;
   /// Max replays ShrinkFailure may spend per failure.
   size_t shrink_budget = 32;
+  /// Worker threads for the sweep: every (protocol, cluster size,
+  /// nemesis, seed) cell runs as an independent job with its own
+  /// simulator, and results merge in deterministic cell order — the
+  /// report is byte-identical for every value of `jobs`; only wall time
+  /// changes. 1 = serial (the default for library callers; check_runner
+  /// defaults to hardware concurrency), 0 = hardware concurrency.
+  size_t jobs = 1;
+  /// Optional: receives the parallel engine's counters after the sweep
+  /// (scheduler.jobs_run / steals / cancelled / max_queue_depth, plus
+  /// per-worker breakdowns). Left untouched when the sweep ran serially.
+  /// Not part of the report — scheduler behavior is nondeterministic.
+  obs::MetricsRegistry* scheduler_metrics = nullptr;
 
   /// Grid cells with the "byzantine" token dropped for protocols that
   /// cannot host a Byzantine replica (CFT, sharded) are skipped when the
@@ -75,16 +89,34 @@ struct SweepReport {
 /// \brief Replays `schedule` subsets to find a locally minimal set of
 /// windows that still violates an invariant under `config`. Returns the
 /// shrunk schedule; `replays_out` (optional) receives the replay count.
+///
+/// With a pool, each ddmin round's candidate windows are probed
+/// concurrently with first-failure cancellation: once a candidate
+/// reproduces, probes for later candidates are cancelled (earlier ones
+/// must still finish — the round takes the *lowest* reproducing index, so
+/// the shrunk schedule and the charged replay count are identical to a
+/// serial run).
 NemesisSchedule ShrinkFailure(const RunConfig& config,
                               const NemesisSchedule& schedule, size_t budget,
-                              size_t* replays_out = nullptr);
+                              size_t* replays_out = nullptr,
+                              ThreadPool* pool = nullptr);
 
 /// \brief Runs the whole sweep. `progress` (optional) is invoked after
-/// every run — the runner binary uses it for per-run log lines.
+/// every run — the runner binary uses it for per-run log lines. Under
+/// `options.jobs > 1` it is called from worker threads (serialized by a
+/// mutex) in completion order rather than grid order.
 using ProgressFn =
     std::function<void(const RunConfig&, const RunResult&)>;
 SweepReport RunSweep(const SweepOptions& options,
                      const ProgressFn& progress = nullptr);
+
+/// \brief Runs an explicit list of fully-specified configs (each one
+/// run, seed included) instead of an expanded grid. RunSweep delegates
+/// here; the golden determinism tests drive it with the committed seed
+/// corpus. Results always merge in `cells` order.
+SweepReport RunSweepCells(const std::vector<RunConfig>& cells,
+                          const SweepOptions& options,
+                          const ProgressFn& progress = nullptr);
 
 }  // namespace pbc::check
 

@@ -76,6 +76,7 @@ Json BenchReport::Build() const {
   j.Set("seed", seed_);
   j.Set("config", config_);
   j.Set("series", series_);
+  if (scheduler_.size() > 0) j.Set("scheduler", scheduler_);
   return j;
 }
 

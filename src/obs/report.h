@@ -56,6 +56,12 @@ class BenchReport {
                               Json extra = Json::Object(),
                               const MetricsRegistry* registry = nullptr);
 
+  /// Attaches the fan-out scheduler's counters (workers, jobs, steals).
+  /// Emitted as a top-level "scheduler" object — deliberately outside
+  /// "series": series rows of simulated-time benches are deterministic,
+  /// scheduler behavior is not.
+  void SetScheduler(Json scheduler) { scheduler_ = std::move(scheduler); }
+
   Json Build() const;
 
   /// Writes BENCH_<name>.json into `dir` (default: current directory).
@@ -67,6 +73,7 @@ class BenchReport {
   uint64_t seed_ = 0;
   Json config_ = Json::Object();
   Json series_ = Json::Array();
+  Json scheduler_ = Json::Object();
   std::map<std::string, size_t> series_index_;
 };
 

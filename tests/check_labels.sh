@@ -1,0 +1,39 @@
+#!/bin/sh
+# Asserts the CTest tier-label invariant (see tests/CMakeLists.txt):
+# every registered test carries exactly one tier — tier1 or slow — so
+# `ctest -L tier1` + `ctest -L slow` together cover the whole suite and
+# never double-run a test. A test with no tier label silently falls out
+# of both CI lanes; one with both would run twice in the nightly.
+#
+# Usage: check_labels.sh <ctest-binary>   (run from the build directory)
+set -eu
+
+CTEST="${1:-ctest}"
+
+count() {
+  # `ctest -N` lists tests without running them and ends with
+  # "Total Tests: N". Multiple -L flags intersect.
+  "$CTEST" -N "$@" | sed -n 's/^Total Tests: *//p'
+}
+
+total=$(count)
+tier1=$(count -L tier1)
+slow=$(count -L slow)
+both=$(count -L tier1 -L slow)
+
+echo "labels: total=$total tier1=$tier1 slow=$slow both=$both"
+
+if [ "$total" -eq 0 ]; then
+  echo "FAIL: ctest -N found no tests (wrong working directory?)" >&2
+  exit 1
+fi
+if [ "$both" -ne 0 ]; then
+  echo "FAIL: $both test(s) carry both tier1 and slow" >&2
+  "$CTEST" -N -L tier1 -L slow >&2
+  exit 1
+fi
+if [ "$((tier1 + slow))" -ne "$total" ]; then
+  echo "FAIL: $((total - tier1 - slow)) test(s) carry neither tier1 nor slow" >&2
+  exit 1
+fi
+echo "OK: every test carries exactly one of tier1/slow"

@@ -1,0 +1,142 @@
+// Parallel-sweep determinism tests: the JSON report produced by the
+// seed-sweep engine must be byte-identical for every --jobs value (the
+// runner binary stamps the only nondeterministic field, wall_ms,
+// *outside* the report). These tests serialize whole reports with
+// obs::Json::Dump() and compare the bytes — golden against the committed
+// seed corpus (tests/seeds.txt), against an expanded grid, and with the
+// quorum-mutation canary so the parallel shrinker's first-failure
+// cancellation is exercised, not just clean runs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/harness.h"
+#include "check/runner.h"
+#include "obs/metrics.h"
+
+namespace pbc::check {
+namespace {
+
+std::vector<RunConfig> LoadSeedCorpus() {
+  std::ifstream in(PBC_SEEDS_FILE);
+  EXPECT_TRUE(in.is_open()) << "missing " << PBC_SEEDS_FILE;
+  std::vector<RunConfig> cells;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    RunConfig cfg;
+    EXPECT_TRUE(static_cast<bool>(fields >> cfg.protocol >> cfg.nemesis >>
+                                  cfg.seed))
+        << "bad corpus line: " << line;
+    cfg.txns = 20;
+    cells.push_back(std::move(cfg));
+  }
+  return cells;
+}
+
+std::string SweepDump(const SweepOptions& base, size_t jobs) {
+  SweepOptions options = base;
+  options.jobs = jobs;
+  return RunSweep(options).ToJson().Dump();
+}
+
+// --- Golden determinism over the committed seed corpus ----------------------
+
+TEST(CheckParallelTest, SeedCorpusReportIsByteIdenticalAcrossJobs) {
+  std::vector<RunConfig> cells = LoadSeedCorpus();
+  ASSERT_GE(cells.size(), 10u);
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  std::string golden = RunSweepCells(cells, serial).ToJson().Dump();
+  EXPECT_EQ(golden, RunSweepCells(cells, parallel).ToJson().Dump());
+}
+
+// --- Grid expansion path (what `check_runner --jobs N` executes) ------------
+
+TEST(CheckParallelTest, GridReportIsByteIdenticalAcrossJobs) {
+  SweepOptions base;
+  base.protocols = {"pbft", "raft"};
+  base.nemeses = {"crash", "crash,partition"};
+  base.seeds = 4;
+  base.txns = 15;
+  std::string golden = SweepDump(base, 1);
+  EXPECT_EQ(golden, SweepDump(base, 2));
+  EXPECT_EQ(golden, SweepDump(base, 8));
+  // jobs=0 means hardware concurrency — still the same bytes.
+  EXPECT_EQ(golden, SweepDump(base, 0));
+}
+
+// --- Parallel shrinking: the mutation canary under --jobs > 1 ---------------
+
+// Failures — and the shrinker's concurrent candidate probes with
+// first-failure cancellation — must also be deterministic: same shrunk
+// windows, same charged replay counts, same report bytes as a serial run.
+TEST(CheckParallelTest, MutationCanaryShrinksIdenticallyInParallel) {
+  SweepOptions base;
+  base.protocols = {"pbft"};
+  base.nemeses = {"crash,partition"};
+  base.seeds = 10;
+  base.txns = 20;
+  base.quorum_slack = 1;
+
+  SweepOptions serial = base;
+  serial.jobs = 1;
+  SweepReport golden = RunSweep(serial);
+  ASSERT_FALSE(golden.failures.empty())
+      << "quorum mutation survived the sweep";
+
+  SweepOptions parallel = base;
+  parallel.jobs = 4;
+  SweepReport report = RunSweep(parallel);
+  EXPECT_EQ(golden.ToJson().Dump(), report.ToJson().Dump());
+
+  // The parallel-shrunk schedule replays to the same failure and is
+  // minimal (one partition window splits the weakened quorum).
+  ASSERT_FALSE(report.failures.empty());
+  const SweepFailure& failure = report.failures.front();
+  ASSERT_FALSE(failure.shrunk_schedule.empty());
+  EXPECT_FALSE(RunWithSchedule(failure.config, failure.shrunk_schedule).ok());
+  EXPECT_EQ(failure.shrunk_windows.size(), 1u);
+}
+
+// --- Scheduler observability -------------------------------------------------
+
+TEST(CheckParallelTest, ParallelSweepExportsSchedulerMetrics) {
+  obs::MetricsRegistry registry;
+  SweepOptions options;
+  options.protocols = {"raft"};
+  options.nemeses = {"crash"};
+  options.seeds = 6;
+  options.txns = 15;
+  options.jobs = 3;
+  options.scheduler_metrics = &registry;
+  SweepReport report = RunSweep(options);
+  EXPECT_EQ(report.runs, 6u);
+  // Every sweep cell ran as one scheduler job (shrink probes would add
+  // more, but this sweep is clean).
+  EXPECT_EQ(registry.CounterValue("scheduler.jobs_run"), 6u);
+  ASSERT_NE(registry.FindGauge("scheduler.workers"), nullptr);
+  EXPECT_EQ(registry.FindGauge("scheduler.workers")->value(), 3);
+}
+
+TEST(CheckParallelTest, SerialSweepLeavesSchedulerMetricsUntouched) {
+  obs::MetricsRegistry registry;
+  SweepOptions options;
+  options.protocols = {"raft"};
+  options.nemeses = {"crash"};
+  options.seeds = 2;
+  options.txns = 15;
+  options.jobs = 1;
+  options.scheduler_metrics = &registry;
+  RunSweep(options);
+  EXPECT_EQ(registry.CounterValue("scheduler.jobs_run"), 0u);
+}
+
+}  // namespace
+}  // namespace pbc::check

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -163,6 +165,157 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
     pool.ParallelFor(50, [&](size_t) { count++; });
   }
   EXPECT_EQ(count.load(), 250);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    // One worker, held busy while 200 tasks pile up; the destructor must
+    // drain them all, not drop the queue.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.Submit([opened] { opened.wait(); });
+    for (int i = 0; i < 200; ++i) pool.Submit([&] { count++; });
+    gate.set_value();
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, CancelledJobsAreSkippedAndCounted) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  TaskGroup group;
+  pool.Submit(&group, [opened] { opened.wait(); });  // hold the one worker
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit(&group, token, [&] { ran++; });
+  }
+  token.Cancel();
+  gate.set_value();
+  pool.Wait(&group);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.stats().cancelled, 50u);
+  EXPECT_EQ(group.pending(), 0u);  // cancelled jobs still complete the group
+}
+
+TEST(ThreadPoolTest, CancellationIsSticky) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  CancellationToken copy = token;  // copies share the flag
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  TaskGroup group;
+  std::atomic<int> ran{0};
+  pool.Submit(&group, copy, [&] { ran++; });
+  pool.Wait(&group);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, FutureCarriesResult) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithFuture([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, FutureCarriesException) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithFuture(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  pool.Wait();  // the pool survives a throwing job
+  EXPECT_EQ(pool.SubmitWithFuture([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 13) throw std::runtime_error("13");
+                                }),
+               std::runtime_error);
+  // The rethrow happens only after every chunk finished (the throwing
+  // chunk abandons its remaining iterations); the pool stays usable.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Outer iterations run as pool jobs; each calls ParallelFor on the SAME
+  // pool. The helping Wait(group) is what keeps this from deadlocking.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup outer;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(&outer, [&] {
+      TaskGroup inner;
+      for (int j = 0; j < 8; ++j) pool.Submit(&inner, [&] { count++; });
+      pool.Wait(&inner);  // helping wait from inside a worker
+    });
+  }
+  pool.Wait(&outer);
+  EXPECT_EQ(count.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, IndependentTaskGroupsWaitSeparately) {
+  ThreadPool pool(2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  TaskGroup slow, fast;
+  pool.Submit(&slow, [opened] { opened.wait(); });
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit(&fast, [&] { count++; });
+  pool.Wait(&fast);  // must not wait for the gated `slow` job
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(slow.pending(), 1u);
+  gate.set_value();
+  pool.Wait(&slow);
+}
+
+TEST(ThreadPoolTest, BoundedQueueLimitsDepth) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.max_queued = 4;
+  ThreadPool pool(options);
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([] {});  // external submitter blocks at the bound
+  }
+  pool.Wait();
+  ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.jobs_run, 200u);
+  EXPECT_LE(stats.max_queue_depth, 4u);
+}
+
+TEST(ThreadPoolTest, StatsCountJobsPerWorker) {
+  ThreadPool pool(3);
+  pool.ParallelFor(100, [](size_t) {});
+  ThreadPool::Stats stats = pool.stats();
+  ASSERT_EQ(stats.jobs_per_worker.size(), 3u);
+  ASSERT_EQ(stats.steals_per_worker.size(), 3u);
+  uint64_t sum = 0;
+  for (uint64_t j : stats.jobs_per_worker) sum += j;
+  EXPECT_EQ(sum, stats.jobs_run);
+  EXPECT_GT(stats.jobs_run, 0u);
+}
+
+TEST(ThreadPoolTest, LegacyZeroThreadsCoercesToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
 }
 
 }  // namespace
