@@ -9,7 +9,6 @@
 //  (2) the software attested-log's unit costs (attest / verify);
 //  (3) end-to-end: simulated throughput of a 2-shard deployment at both
 //      committee sizes — smaller committees mean fewer messages.
-#include <chrono>
 #include <functional>
 #include <string>
 

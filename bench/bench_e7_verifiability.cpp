@@ -10,7 +10,6 @@
 // relative to production curves; the ordering still holds).
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <functional>
 #include <string>
 

@@ -10,6 +10,9 @@ namespace pbc::bench {
 namespace {
 
 size_t BenchJobs() {
+  // detlint:allow(env-read) PBC_BENCH_JOBS only sizes the worker pool;
+  // series rows are merged in input order, so report bytes never change
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers start
   if (const char* env = std::getenv("PBC_BENCH_JOBS")) {
     size_t n = std::strtoull(env, nullptr, 10);
     if (n > 0) return n;

@@ -13,8 +13,8 @@
 #define PBC_CRYPTO_AUTH_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -76,7 +76,10 @@ class KeyRegistry {
   size_t size() const { return keys_.size(); }
 
  private:
-  std::unordered_map<IdentityId, Bytes> keys_;
+  // Ordered: the registry is membership state shared by every honest
+  // node; keeping it address-independent means any future enumeration
+  // (snapshots, audits, serialization) is deterministic by construction.
+  std::map<IdentityId, Bytes> keys_;
   uint64_t counter_ = 0;
 };
 

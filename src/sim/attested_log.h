@@ -12,7 +12,7 @@
 #define PBC_SIM_ATTESTED_LOG_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "common/result.h"
 #include "crypto/auth.h"
@@ -55,7 +55,10 @@ class AttestedLog {
 
   uint32_t log_id_;
   crypto::PrivateKey key_;
-  std::unordered_map<uint64_t, crypto::Hash256> slots_;
+  // Ordered: the log is protocol state inside the (simulated) TEE; an
+  // address-independent slot table keeps any future dump or replay of
+  // the log byte-stable across runs.
+  std::map<uint64_t, crypto::Hash256> slots_;
 };
 
 }  // namespace pbc::sim

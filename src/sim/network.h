@@ -20,6 +20,7 @@
 #define PBC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -182,7 +183,9 @@ class Network {
                  const char* reason);
 
   Simulator* sim_;
-  std::unordered_map<NodeId, Node*> nodes_;
+  // Ordered: Start() walks this map to fire OnStart, so iteration order
+  // reaches message-send order and must not depend on addresses.
+  std::map<NodeId, Node*> nodes_;
   std::set<NodeId> crashed_;
   std::unordered_map<NodeId, uint64_t> crash_epoch_;
   LinkLatency default_latency_;

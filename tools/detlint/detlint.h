@@ -1,0 +1,115 @@
+// detlint: determinism & safety static analysis for the pbc tree.
+//
+// The repo's correctness substrate (byte-identical seed-sweep reports,
+// ddmin-shrunk repros, --jobs N report equivalence — DESIGN.md §8/§9)
+// rests on a convention: nothing in src/ may consult wall clocks, OS
+// entropy, environment variables, address-dependent ordering, or
+// unordered-container iteration order on any path that feeds committed
+// state, hashes, or JSON reports. detlint is the machine check for that
+// convention (the rulebook lives in DESIGN.md §10).
+//
+// It is deliberately a token-level scanner over the repo's own sources —
+// no libclang, no compile database — so it builds from the same CMake
+// tree in milliseconds and runs as a tier-1 test on every PR. Token-level
+// means it can be fooled by pathological macros; it is a tripwire for
+// honest mistakes, not a sandbox for adversarial code.
+//
+// Suppression is only possible through an auditable inline annotation:
+//
+//   // detlint:allow(<rule>) <justification>
+//
+// placed on the offending line or on its own line directly above it. The
+// justification is mandatory (an empty one is itself an error), unknown
+// rule names are errors, and annotations that suppress nothing are
+// errors — so `grep -rn detlint:allow` enumerates every sanctioned
+// exception together with its reviewed reason.
+#ifndef PBC_TOOLS_DETLINT_DETLINT_H_
+#define PBC_TOOLS_DETLINT_DETLINT_H_
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pbc::detlint {
+
+/// \brief One diagnostic: `file:line: [rule] message`.
+struct Finding {
+  std::string file;  ///< path as given to the scanner (repo-relative)
+  size_t line = 0;   ///< 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && rule == o.rule &&
+           message == o.message;
+  }
+};
+
+/// \brief Static description of one rule, for --list-rules and for
+/// validating annotation rule names.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All enforceable rules. `bad-annotation` and `unused-allow` are
+/// meta-rules emitted by the annotation machinery itself and cannot be
+/// suppressed.
+const std::vector<RuleInfo>& Rules();
+
+/// True iff `id` names a suppressible rule (i.e. valid in an annotation).
+bool IsSuppressibleRule(const std::string& id);
+
+/// \brief Scanner configuration.
+struct Options {
+  /// (rule, path-prefix) pairs: findings for `rule` in files whose
+  /// repo-relative path starts with `path-prefix` are dropped. A rule of
+  /// "*" matches every rule. Loaded from tools/detlint/detlint.allow.
+  std::vector<std::pair<std::string, std::string>> allowlist;
+};
+
+/// Loads an allowlist file (lines of `rule path-prefix`, `#` comments).
+/// Returns false and sets `error` on I/O or parse failure.
+bool LoadAllowlist(const std::filesystem::path& path, Options* options,
+                   std::string* error);
+
+/// Identifiers declared in `content` with an unordered-container type
+/// (including through local `using`/`typedef` aliases). Used to seed a
+/// .cc scan with its paired header's member declarations.
+std::set<std::string> UnorderedDecls(const std::string& content);
+
+/// Lints one translation unit given as a string. `path` is the
+/// repo-relative path used for rule scoping (e.g. float-state only
+/// applies under src/ledger, src/txn, src/consensus) and allowlist
+/// matching. `seeded_decls` are identifiers known to be unordered
+/// containers from elsewhere (the paired header).
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content,
+                                const Options& options,
+                                const std::set<std::string>& seeded_decls = {});
+
+/// \brief Result of scanning a tree.
+struct TreeReport {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  size_t files_scanned = 0;
+  std::vector<std::string> errors;  ///< unreadable files, bad roots
+};
+
+/// Recursively lints every C++ source under `root`/`subdir` for each
+/// subdir (default scan set: src, bench). For a foo.cc file, a sibling
+/// foo.h/foo.hpp seeds the unordered-declaration table so member
+/// containers declared in the header are tracked in the implementation.
+TreeReport LintTree(const std::filesystem::path& root,
+                    const std::vector<std::string>& subdirs,
+                    const Options& options);
+
+/// Renders findings as a deterministic JSON report document.
+std::string ReportToJson(const TreeReport& report,
+                         const std::string& root_label);
+
+}  // namespace pbc::detlint
+
+#endif  // PBC_TOOLS_DETLINT_DETLINT_H_

@@ -1,0 +1,112 @@
+// detlint CLI. See detlint.h for the rule engine and DESIGN.md §10 for
+// the rulebook.
+//
+//   detlint [--root DIR] [--allowlist FILE] [--json PATH]
+//           [--list-rules] [subdir...]
+//
+// Scans DIR/src and DIR/bench by default (override by naming subdirs).
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: detlint [options] [subdir...]\n"
+      "  --root DIR        repository root to scan (default: .)\n"
+      "  --allowlist FILE  allowlist file (default:\n"
+      "                    ROOT/tools/detlint/detlint.allow if present)\n"
+      "  --json PATH       also write a JSON report to PATH\n"
+      "  --list-rules      print the rulebook and exit\n"
+      "  subdir...         subdirectories of ROOT to scan\n"
+      "                    (default: src bench)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string root = ".";
+  std::string allowlist_path;
+  std::string json_path;
+  std::vector<std::string> subdirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "detlint: %s needs a value\n", arg);
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(arg, "--root")) {
+      root = need_value();
+    } else if (!std::strcmp(arg, "--allowlist")) {
+      allowlist_path = need_value();
+    } else if (!std::strcmp(arg, "--json")) {
+      json_path = need_value();
+    } else if (!std::strcmp(arg, "--list-rules")) {
+      for (const pbc::detlint::RuleInfo& r : pbc::detlint::Rules()) {
+        std::printf("%-16s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      Usage();
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown flag %s\n", arg);
+      Usage();
+      return 2;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "bench"};
+
+  pbc::detlint::Options options;
+  std::string error;
+  if (allowlist_path.empty()) {
+    fs::path fallback = fs::path(root) / "tools" / "detlint" / "detlint.allow";
+    if (fs::exists(fallback)) allowlist_path = fallback.string();
+  }
+  if (!allowlist_path.empty() &&
+      !pbc::detlint::LoadAllowlist(allowlist_path, &options, &error)) {
+    std::fprintf(stderr, "detlint: %s\n", error.c_str());
+    return 2;
+  }
+
+  pbc::detlint::TreeReport report =
+      pbc::detlint::LintTree(root, subdirs, options);
+
+  for (const std::string& err : report.errors) {
+    std::fprintf(stderr, "detlint: error: %s\n", err.c_str());
+  }
+  for (const pbc::detlint::Finding& f : report.findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("detlint: %zu file(s) scanned, %zu finding(s)\n",
+              report.files_scanned, report.findings.size());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << pbc::detlint::ReportToJson(report, root);
+  }
+
+  if (!report.errors.empty()) return 2;
+  return report.findings.empty() ? 0 : 1;
+}
