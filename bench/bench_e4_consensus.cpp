@@ -107,6 +107,98 @@ BENCHMARK(BM_Paxos)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HotStuff)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Tendermint)->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// --- Block-pipeline sweep: block size × offered load ------------------------
+//
+// block_max=0 is the per-txn ordering baseline (inline batches capped at
+// one txn): every transaction pays a full consensus round. With the
+// block pipeline enabled, one round orders a 32-byte hash covering up to
+// block_max txns, so simulated-time throughput should scale roughly with
+// the block size until the timer cut dominates.
+constexpr size_t kBlockMaxes[] = {0, 10, 50, 100, 200};
+constexpr int kOfferedLoads[] = {200, 400};
+
+template <typename ReplicaT>
+bench::SeriesRow BlockPipelineCell(const char* label, size_t block_max,
+                                   int offered) {
+  SimWorld w(kSeed);
+  consensus::ClusterConfig cfg;
+  if (block_max == 0) {
+    cfg.batch_size = 1;  // per-txn baseline: one consensus round per txn
+  } else {
+    cfg.block.enabled = true;
+    cfg.block.max_txns = block_max;
+    cfg.block.max_delay_us = 5000;
+  }
+  consensus::Cluster<ReplicaT> cluster(&w.net, &w.registry, 4, cfg);
+  LatencyTracker tracker(&w.simulator);
+  cluster.replica(0)->set_commit_listener(
+      [&](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+        for (const auto& t : batch.txns) tracker.Committed(t.id);
+      });
+  w.net.Start();
+  for (int i = 0; i < offered; ++i) {
+    auto t = consensus::MakeKvTxn(i + 1, "k" + std::to_string(i % 17), "v");
+    tracker.Submitted(t.id);
+    cluster.Submit(t);
+  }
+  bool ok = w.simulator.RunUntil(
+      [&] { return cluster.MinCommitted() >= static_cast<uint64_t>(offered); },
+      kDeadline);
+  sim::Time elapsed = w.simulator.now();
+  double throughput = ok ? static_cast<double>(offered) /
+                               (static_cast<double>(elapsed) / 1e6)
+                         : 0.0;
+  uint64_t chain_blocks = cluster.replica(0)->chain().height();
+
+  bench::SeriesRow row;
+  row.name = std::string(label) + "/block=" + std::to_string(block_max) +
+             "/offered=" + std::to_string(offered);
+  row.params = obs::Json::Object();
+  row.params.Set("block_max_txns", block_max);
+  row.params.Set("offered", offered);
+  obs::Json extra = obs::Json::Object();
+  extra.Set("completed", ok);
+  extra.Set("sim_elapsed_us", elapsed);
+  extra.Set("chain_blocks", chain_blocks);
+  extra.Set("txns_per_block",
+            chain_blocks == 0
+                ? 0.0
+                : static_cast<double>(offered) / chain_blocks);
+  extra.Set("msgs_per_txn",
+            static_cast<double>(w.net.stats().messages_sent) / offered);
+  row.metrics = obs::BenchReport::StandardMetrics(
+      throughput, tracker.hist(), w.net.stats().messages_sent,
+      std::move(extra), &w.metrics);
+  return row;
+}
+
+template <typename ReplicaT>
+void RunBlockPipeline(benchmark::State& state, const char* label) {
+  for (auto _ : state) {
+    std::vector<bench::SeriesCase> cases;
+    for (size_t block_max : kBlockMaxes) {
+      for (int offered : kOfferedLoads) {
+        cases.push_back([label, block_max, offered] {
+          return BlockPipelineCell<ReplicaT>(label, block_max, offered);
+        });
+      }
+    }
+    bench::FanSeries(std::move(cases));
+  }
+  state.counters["cells"] = static_cast<double>(std::size(kBlockMaxes) *
+                                                std::size(kOfferedLoads));
+}
+
+void BM_PBFTBlockPipeline(benchmark::State& state) {
+  RunBlockPipeline<consensus::PbftReplica>(state, "PBFT-blocks");
+}
+void BM_RaftBlockPipeline(benchmark::State& state) {
+  RunBlockPipeline<consensus::RaftReplica>(state, "Raft-blocks");
+}
+
+BENCHMARK(BM_PBFTBlockPipeline)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RaftBlockPipeline)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 namespace {

@@ -60,6 +60,11 @@ class Architecture {
   /// the ledger and updates the state store.
   virtual void ProcessBlock(const std::vector<txn::Transaction>& block) = 0;
 
+  /// Consumes an ordered block body as produced by the consensus layer's
+  /// block pipeline (derived classes re-export this via a using-declaration
+  /// so the overload survives their ProcessBlock override).
+  void ProcessBlock(const ledger::Block& block) { ProcessBlock(block.txns); }
+
   const store::KvStore& store() const { return store_; }
   const ledger::Chain& chain() const { return chain_; }
   const ArchStats& stats() const { return stats_; }
@@ -83,6 +88,7 @@ class Architecture {
 class OxArchitecture : public Architecture {
  public:
   using Architecture::Architecture;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "OX"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };
@@ -91,6 +97,7 @@ class OxArchitecture : public Architecture {
 class OxiiArchitecture : public Architecture {
  public:
   using Architecture::Architecture;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "OXII"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };

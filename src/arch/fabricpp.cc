@@ -7,21 +7,15 @@ void FabricPPArchitecture::ProcessBlock(
   auto endorsed = EndorseAll(block);
   ReorderResult plan = ReorderBlock(endorsed, /*minimal_aborts=*/false);
   stats_.aborted += plan.aborted.size();
+  for (size_t i : plan.aborted) endorsed[i].valid = false;
 
-  std::vector<txn::Transaction> effective;
   for (size_t pos = 0; pos < plan.order.size(); ++pos) {
-    size_t i = plan.order[pos];
-    if (i != pos) ++stats_.reordered;
-    Endorsed& e = endorsed[i];
-    ChargeValidation(*e.txn);
-    if (ValidateAndCommit(&e)) {
-      ++stats_.committed;
-      effective.push_back(*e.txn);
-    } else {
-      ++stats_.aborted;  // cross-block staleness still aborts
-    }
+    if (plan.order[pos] != pos) ++stats_.reordered;
+    ChargeValidation(*endorsed[plan.order[pos]].txn);
   }
-  AppendLedgerBlock(std::move(effective));
+  // The reordered plan feeds the same serial gate the other validators
+  // use; cross-block staleness still aborts inside it.
+  AppendLedgerBlock(GateBlock(&endorsed, plan.order));
 }
 
 void FabricSharpArchitecture::ProcessBlock(
@@ -43,21 +37,13 @@ void FabricSharpArchitecture::ProcessBlock(
 
   ReorderResult plan = ReorderBlock(viable, /*minimal_aborts=*/true);
   stats_.aborted += plan.aborted.size();
+  for (size_t i : plan.aborted) viable[i].valid = false;
 
-  std::vector<txn::Transaction> effective;
   for (size_t pos = 0; pos < plan.order.size(); ++pos) {
-    size_t i = plan.order[pos];
-    if (i != pos) ++stats_.reordered;
-    Endorsed& e = viable[i];
-    ChargeValidation(*e.txn);
-    if (ValidateAndCommit(&e)) {
-      ++stats_.committed;
-      effective.push_back(*e.txn);
-    } else {
-      ++stats_.aborted;
-    }
+    if (plan.order[pos] != pos) ++stats_.reordered;
+    ChargeValidation(*viable[plan.order[pos]].txn);
   }
-  AppendLedgerBlock(std::move(effective));
+  AppendLedgerBlock(GateBlock(&viable, plan.order));
 }
 
 }  // namespace pbc::arch

@@ -13,6 +13,7 @@ namespace pbc::arch {
 class FabricPPArchitecture : public XovBase {
  public:
   using XovBase::XovBase;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "Fabric++"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };
@@ -23,6 +24,7 @@ class FabricPPArchitecture : public XovBase {
 class FabricSharpArchitecture : public XovBase {
  public:
   using XovBase::XovBase;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "FabricSharp"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };

@@ -1,6 +1,6 @@
 #include "arch/xov.h"
 
-#include "crypto/sha256.h"
+#include <numeric>
 
 namespace pbc::arch {
 
@@ -18,64 +18,48 @@ std::vector<Endorsed> XovBase::EndorseAll(
 }
 
 void XovBase::ChargeValidation(const txn::Transaction& txn) const {
-  if (validation_cost_ <= 0) return;
-  crypto::Hash256 acc = txn.Digest();
-  for (int i = 0; i < validation_cost_; ++i) {
-    crypto::Sha256 h;
-    h.Update(acc);
-    acc = h.Finalize();
-  }
-  // Keep the loop observable.
-  if (acc.bytes[0] == 0xff && acc.bytes[1] == 0xff && acc.bytes[2] == 0xff &&
-      acc.bytes[3] == 0xff && acc.bytes[4] == 0xff) {
-    std::abort();  // probability ~2^-40; defeats dead-code elimination
-  }
+  block::ChargeValidationCost(txn, validation_cost_);
 }
 
-bool XovBase::ValidateAndCommit(Endorsed* e) {
-  if (!store_.ValidateReadSet(e->result.reads)) {
-    e->valid = false;
-    return false;
+std::vector<txn::Transaction> XovBase::GateBlock(
+    std::vector<Endorsed>* endorsed, const std::vector<size_t>& order) {
+  size_t committed = block::GateAndCommit(endorsed, order, &store_);
+  stats_.committed += committed;
+  stats_.aborted += order.size() - committed;
+  std::vector<txn::Transaction> effective;
+  effective.reserve(committed);
+  for (size_t i : order) {
+    if ((*endorsed)[i].valid) effective.push_back(*(*endorsed)[i].txn);
   }
-  if (!e->result.writes.empty()) {
-    store_.ApplyBatch(e->result.writes, store_.last_committed() + 1);
-  }
-  return true;
+  return effective;
 }
 
 void XovArchitecture::ProcessBlock(
     const std::vector<txn::Transaction>& block) {
   auto endorsed = EndorseAll(block);
-  std::vector<txn::Transaction> effective;
-  for (auto& e : endorsed) {
-    ChargeValidation(*e.txn);  // serial validation pipeline
-    if (ValidateAndCommit(&e)) {
-      ++stats_.committed;
-      effective.push_back(*e.txn);
-    } else {
-      ++stats_.aborted;
-    }
-  }
-  AppendLedgerBlock(std::move(effective));
+  // Serial validation pipeline: the per-txn checks run one by one before
+  // the single commit scan.
+  for (const auto& e : endorsed) ChargeValidation(*e.txn);
+  std::vector<size_t> order(block.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  AppendLedgerBlock(GateBlock(&endorsed, order));
 }
 
 void FastFabricArchitecture::ProcessBlock(
     const std::vector<txn::Transaction>& block) {
-  auto endorsed = EndorseAll(block);
-  // Parallel validation pipeline: the per-transaction checks (signature,
-  // endorsement policy — modeled by ChargeValidation) are independent and
-  // run across the pool. The MVCC check + commit remains a fast serial
-  // scan, as in FastFabric's design.
-  pool_->ParallelFor(endorsed.size(),
-                     [&](size_t i) { ChargeValidation(*endorsed[i].txn); });
+  // FastFabric = the parallel block validator: endorsement and the
+  // per-transaction checks fan out over the pool (level-parallel across
+  // the conflict graph); only the MVCC gate stays serial.
+  block::ParallelValidator validator(pool_, &store_, validation_cost_);
+  std::vector<bool> valid = validator.ProcessBlock(block);
+  stats_.committed += validator.stats().committed;
+  stats_.aborted += validator.stats().aborted;
+  stats_.dag_edges += validator.stats().conflict_edges;
+  stats_.dag_levels += validator.stats().levels;
   std::vector<txn::Transaction> effective;
-  for (auto& e : endorsed) {
-    if (ValidateAndCommit(&e)) {
-      ++stats_.committed;
-      effective.push_back(*e.txn);
-    } else {
-      ++stats_.aborted;
-    }
+  effective.reserve(block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    if (valid[i]) effective.push_back(block[i]);
   }
   AppendLedgerBlock(std::move(effective));
 }
@@ -83,28 +67,28 @@ void FastFabricArchitecture::ProcessBlock(
 void XoxArchitecture::ProcessBlock(
     const std::vector<txn::Transaction>& block) {
   auto endorsed = EndorseAll(block);
+  for (const auto& e : endorsed) ChargeValidation(*e.txn);
+  std::vector<size_t> order(block.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  size_t committed = block::GateAndCommit(&endorsed, order, &store_);
+  stats_.committed += committed;
   std::vector<txn::Transaction> effective;
-  std::vector<const txn::Transaction*> invalidated;
-  for (auto& e : endorsed) {
-    ChargeValidation(*e.txn);
-    if (ValidateAndCommit(&e)) {
-      ++stats_.committed;
-      effective.push_back(*e.txn);
-    } else {
-      invalidated.push_back(e.txn);
-    }
+  effective.reserve(block.size());
+  for (const auto& e : endorsed) {
+    if (e.valid) effective.push_back(*e.txn);
   }
   // Post-order execution step: deterministically re-execute the
   // invalidated transactions against fresh state, in block order. Every
   // replica performs the same re-execution, so determinism is preserved.
-  for (const txn::Transaction* t : invalidated) {
-    txn::ExecResult r = txn::Execute(*t, txn::LatestReader(&store_));
+  for (const auto& e : endorsed) {
+    if (e.valid) continue;
+    txn::ExecResult r = txn::Execute(*e.txn, txn::LatestReader(&store_));
     if (!r.writes.empty()) {
       store_.ApplyBatch(r.writes, store_.last_committed() + 1);
     }
     ++stats_.reexecuted;
     ++stats_.committed;
-    effective.push_back(*t);
+    effective.push_back(*e.txn);
   }
   AppendLedgerBlock(std::move(effective));
 }

@@ -19,17 +19,22 @@
 #define PBC_ARCH_XOV_H_
 
 #include "arch/architecture.h"
+#include "block/validator.h"
 
 namespace pbc::arch {
 
-/// \brief One endorsed transaction: the proposal plus its rwset.
-struct Endorsed {
-  const txn::Transaction* txn = nullptr;
-  txn::ExecResult result;
-  bool valid = true;  ///< set by the validation phase
-};
+/// \brief One endorsed transaction: the proposal plus its rwset. Shared
+/// with the block layer so reorder plans feed block::GateAndCommit
+/// directly.
+using Endorsed = block::Endorsed;
 
 /// \brief Shared XOV machinery.
+///
+/// The phase boundary is explicit: EndorseAll freezes the pre-block
+/// snapshot (phase X reads it, never the live store), and the only writes
+/// happen inside the single serial block::GateAndCommit scan (phase V).
+/// Serial and parallel variants therefore agree by construction — they
+/// run the same gate over order-independent endorsements.
 class XovBase : public Architecture {
  public:
   /// `validation_cost_rounds`: hash rounds charged per transaction during
@@ -47,9 +52,11 @@ class XovBase : public Architecture {
   /// Burns the per-transaction validation cost (deterministic hashing).
   void ChargeValidation(const txn::Transaction& txn) const;
 
-  /// Phase V for one txn: MVCC-check its read set against current state;
-  /// on success apply writes. Returns whether it committed.
-  bool ValidateAndCommit(Endorsed* e);
+  /// Phase V: runs the serial MVCC gate over `endorsed` visiting indices
+  /// in `order`, updates committed/aborted stats, and returns the
+  /// effective transactions in commit order.
+  std::vector<txn::Transaction> GateBlock(std::vector<Endorsed>* endorsed,
+                                          const std::vector<size_t>& order);
 
   int validation_cost_;
 };
@@ -58,15 +65,18 @@ class XovBase : public Architecture {
 class XovArchitecture : public XovBase {
  public:
   using XovBase::XovBase;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "XOV"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };
 
 /// \brief FastFabric: the expensive per-transaction validation checks run
-/// in parallel; only the (cheap) sequential commit step is serial.
+/// in parallel; only the (cheap) sequential commit step is serial. Driven
+/// by block::ParallelValidator on the work-stealing pool.
 class FastFabricArchitecture : public XovBase {
  public:
   using XovBase::XovBase;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "FastFabric"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };
@@ -76,6 +86,7 @@ class FastFabricArchitecture : public XovBase {
 class XoxArchitecture : public XovBase {
  public:
   using XovBase::XovBase;
+  using Architecture::ProcessBlock;
   const char* name() const override { return "XOX"; }
   void ProcessBlock(const std::vector<txn::Transaction>& block) override;
 };

@@ -1,0 +1,79 @@
+#include "block/conflict.h"
+
+#include <map>
+
+namespace pbc::block {
+
+void ConflictGraph::AddEdge(size_t from, size_t to, std::set<Edge>* kind) {
+  if (from == to) return;
+  kind->insert({from, to});
+  if (edges_.insert({from, to}).second) {
+    adj_[from].push_back(to);
+    ++in_degree_[to];
+  }
+}
+
+ConflictGraph ConflictGraph::Build(
+    const std::vector<txn::Transaction>& txns) {
+  ConflictGraph g;
+  g.adj_.resize(txns.size());
+  g.in_degree_.assign(txns.size(), 0);
+
+  // Per-key access history, walked in block order. Ordered map so the
+  // adjacency lists come out deterministic regardless of key content.
+  struct KeyState {
+    bool has_writer = false;
+    size_t last_writer = 0;
+    std::vector<size_t> readers_since_write;
+  };
+  std::map<store::Key, KeyState> keys;
+
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const store::Key& k : txns[i].DeclaredReads()) {
+      KeyState& st = keys[k];
+      if (st.has_writer && st.last_writer != i) {
+        g.AddEdge(st.last_writer, i, &g.wr_);
+      }
+      st.readers_since_write.push_back(i);
+    }
+    for (const store::Key& k : txns[i].DeclaredWrites()) {
+      KeyState& st = keys[k];
+      for (size_t r : st.readers_since_write) {
+        if (r != i) g.AddEdge(r, i, &g.rw_);
+      }
+      if (st.has_writer && st.last_writer != i) {
+        g.AddEdge(st.last_writer, i, &g.ww_);
+      }
+      st.has_writer = true;
+      st.last_writer = i;
+      st.readers_since_write.clear();
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<size_t>> ConflictGraph::Levels() const {
+  // Edges only ever point earlier → later, so ascending index order is a
+  // topological order; longest-path levels fall out in one pass.
+  std::vector<size_t> level(adj_.size(), 0);
+  size_t max_level = 0;
+  for (size_t i = 0; i < adj_.size(); ++i) {
+    for (size_t succ : adj_[i]) {
+      if (level[succ] < level[i] + 1) level[succ] = level[i] + 1;
+    }
+    if (level[i] > max_level) max_level = level[i];
+  }
+  std::vector<std::vector<size_t>> out(adj_.empty() ? 0 : max_level + 1);
+  for (size_t i = 0; i < adj_.size(); ++i) out[level[i]].push_back(i);
+  return out;
+}
+
+size_t ConflictGraph::MaxLevelWidth() const {
+  size_t width = 0;
+  for (const auto& level : Levels()) {
+    if (level.size() > width) width = level.size();
+  }
+  return width;
+}
+
+}  // namespace pbc::block

@@ -1,0 +1,17 @@
+#include "block/store.h"
+
+namespace pbc::block {
+
+bool BlockStore::Put(ledger::Block body) {
+  if (!body.VerifyTxnRoot()) return false;
+  crypto::Hash256 hash = body.header.Hash();
+  bodies_.emplace(hash, std::move(body));
+  return true;
+}
+
+const ledger::Block* BlockStore::Get(const crypto::Hash256& hash) const {
+  auto it = bodies_.find(hash);
+  return it == bodies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pbc::block

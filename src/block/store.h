@@ -1,0 +1,45 @@
+// Content-addressed block body store.
+//
+// Consensus orders compact block *hashes*; the bodies travel beside the
+// protocol (broadcast at proposal time, fetched on demand) and land here,
+// keyed by header hash. Put() verifies the body against its own header,
+// so a fabricated or corrupted body can never alias an honest hash.
+#ifndef PBC_BLOCK_STORE_H_
+#define PBC_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "crypto/sha256.h"
+#include "ledger/block.h"
+
+namespace pbc::block {
+
+class BlockStore {
+ public:
+  /// Inserts `body` keyed by its header hash after verifying the header
+  /// commits to the body (Merkle root check). Returns false — and stores
+  /// nothing — for a body that fails verification; returns true for both
+  /// fresh inserts and idempotent re-inserts.
+  bool Put(ledger::Block body);
+
+  /// The stored body for `hash`, or nullptr. Pointers remain valid until
+  /// the entry is erased.
+  const ledger::Block* Get(const crypto::Hash256& hash) const;
+
+  bool Contains(const crypto::Hash256& hash) const {
+    return bodies_.count(hash) > 0;
+  }
+  size_t size() const { return bodies_.size(); }
+
+  /// Drops one body (delivered blocks whose body is no longer needed).
+  void Erase(const crypto::Hash256& hash) { bodies_.erase(hash); }
+
+ private:
+  // Ordered map: deterministic iteration should anyone ever walk it.
+  std::map<crypto::Hash256, ledger::Block> bodies_;
+};
+
+}  // namespace pbc::block
+
+#endif  // PBC_BLOCK_STORE_H_

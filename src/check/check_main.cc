@@ -35,6 +35,8 @@ void Usage() {
       "  --num-shards N        shards for sharper/ahl (default 2)\n"
       "  --txns N              client transactions per run (default 40)\n"
       "  --mutate-quorum N     TEST-ONLY quorum slack; sweeps must catch\n"
+      "  --block-max-txns N    run through the consensus block pipeline\n"
+      "                        with size cut N (0 = inline batches)\n"
       "  --no-shrink           report failures without shrinking\n"
       "  --shrink-budget N     max replays per failure (default 32)\n"
       "  --jobs N              worker threads (default: hardware\n"
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--mutate-quorum")) {
       options.quorum_slack =
           static_cast<uint32_t>(std::strtoul(need_value(i++), nullptr, 10));
+    } else if (!std::strcmp(arg, "--block-max-txns")) {
+      options.block_max_txns = std::strtoull(need_value(i++), nullptr, 10);
     } else if (!std::strcmp(arg, "--no-shrink")) {
       options.shrink = false;
     } else if (!std::strcmp(arg, "--shrink-budget")) {

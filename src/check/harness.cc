@@ -45,6 +45,9 @@ uint64_t MixSeed(const RunConfig& cfg) {
   mix(cfg.num_shards);
   mix(cfg.txns);
   mix(cfg.quorum_slack);
+  // Mixed only when set so pre-block-pipeline repro seeds keep their
+  // exact RNG streams.
+  if (cfg.block_max_txns > 0) mix(cfg.block_max_txns);
   mix(cfg.seed);
   return h;
 }
@@ -95,6 +98,11 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
   consensus::ClusterConfig cc;
   cc.batch_size = 8;  // several sequences per run, so faults land mid-stream
   cc.quorum_slack_for_test = cfg.quorum_slack;
+  if (cfg.block_max_txns > 0) {
+    cc.block.enabled = true;
+    cc.block.max_txns = cfg.block_max_txns;
+    cc.block.max_delay_us = 5000;
+  }
   consensus::Cluster<R> cluster(&w.net, &w.registry, cfg.cluster_size, cc);
 
   NemesisTopology topo;
@@ -228,6 +236,13 @@ RunResult RunShard(const RunConfig& cfg, const NemesisProfile& profile,
 
   consensus::ClusterConfig cc;
   cc.quorum_slack_for_test = cfg.quorum_slack;
+  if (cfg.block_max_txns > 0) {
+    cc.block.enabled = true;
+    cc.block.max_txns = cfg.block_max_txns;
+    // Short timer cut: 2PC lock/decision markers ride the same pools, so
+    // a long cut delay would serialize every cross-shard commit.
+    cc.block.max_delay_us = 2000;
+  }
   const uint32_t shards = cfg.num_shards;
   const size_t rps = cfg.cluster_size;
 
@@ -442,6 +457,7 @@ std::string RunConfig::ReproLine() const {
   os << " --nemesis " << nemesis << " --txns " << txns << " --seeds 1"
      << " --seed-base " << seed;
   if (quorum_slack > 0) os << " --mutate-quorum " << quorum_slack;
+  if (block_max_txns > 0) os << " --block-max-txns " << block_max_txns;
   return os.str();
 }
 
@@ -455,6 +471,9 @@ obs::Json RunConfig::ToJson() const {
                     .Set("horizon_us", HorizonFor(*this));
   if (IsSharded(protocol)) j.Set("num_shards", num_shards);
   if (quorum_slack > 0) j.Set("quorum_slack", quorum_slack);
+  if (block_max_txns > 0) {
+    j.Set("block_max_txns", static_cast<uint64_t>(block_max_txns));
+  }
   return j;
 }
 

@@ -38,6 +38,9 @@ struct RunConfig {
   /// TEST-ONLY mutation: widens accepted quorums by this many votes (see
   /// ClusterConfig::quorum_slack_for_test). The sweeps must catch > 0.
   uint32_t quorum_slack = 0;
+  /// > 0 enables the consensus block pipeline (ClusterConfig::block) with
+  /// this size cut; 0 keeps the seed's inline-batch path.
+  size_t block_max_txns = 0;
 
   /// A command line that replays exactly this run.
   std::string ReproLine() const;

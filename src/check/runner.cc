@@ -49,6 +49,7 @@ std::vector<RunConfig> SweepOptions::Expand() const {
         cfg.nemesis = reduced;
         cfg.txns = txns;
         cfg.quorum_slack = quorum_slack;
+        cfg.block_max_txns = block_max_txns;
         cells.push_back(std::move(cfg));
       }
     }

@@ -30,6 +30,9 @@ struct SweepOptions {
   uint32_t num_shards = 2;
   /// TEST-ONLY quorum mutation, forwarded to every run (see RunConfig).
   uint32_t quorum_slack = 0;
+  /// > 0 runs every cell through the consensus block pipeline with this
+  /// size cut (see RunConfig::block_max_txns).
+  size_t block_max_txns = 0;
   /// Shrink each failure's schedule before reporting.
   bool shrink = true;
   /// Max replays ShrinkFailure may spend per failure.

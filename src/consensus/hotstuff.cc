@@ -173,9 +173,14 @@ void HotStuffReplica::MaybePropose() {
 
 void HotStuffReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (byzantine_mode() == ByzantineMode::kSilent) return;
+  if (HandleBlockMessage(from, msg)) return;
   const char* t = msg->type();
   if (t == std::string("hs-proposal")) {
-    HandleProposal(from, static_cast<const HsProposal&>(*msg));
+    const auto& proposal = static_cast<const HsProposal&>(*msg);
+    // The vote rule checks client authenticity against the block body;
+    // park the proposal until the body (broadcast alongside) arrives.
+    if (!EnsureBodyOrFetch(from, msg, proposal.node.batch)) return;
+    HandleProposal(from, proposal);
   } else if (t == std::string("hs-vote")) {
     HandleVote(from, static_cast<const HsVote&>(*msg));
   } else if (t == std::string("hs-newview")) {

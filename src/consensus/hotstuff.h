@@ -41,7 +41,7 @@ struct HsProposal : sim::Message {
   HsTreeNode node;
   crypto::Signature sig;
   const char* type() const override { return "hs-proposal"; }
-  size_t ByteSize() const override { return 160 + node.batch.size() * 64; }
+  size_t ByteSize() const override { return 160 + node.batch.WireBytes(); }
 };
 
 struct HsVote : sim::Message {

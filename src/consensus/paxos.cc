@@ -56,6 +56,7 @@ void PaxosReplica::TryBecomeLeader() {
 }
 
 void PaxosReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (HandleBlockMessage(from, msg)) return;
   const char* t = msg->type();
   if (t == std::string("paxos-prepare")) {
     HandlePrepare(from, static_cast<const PaxosPrepare&>(*msg));
@@ -121,11 +122,26 @@ void PaxosReplica::HandlePromise(sim::NodeId from, const PaxosPromise& m) {
   ProposePending();
 }
 
+void PaxosReplica::SchedulePendingPropose() {
+  // Block mode: the pool has txns but no cut is due. Poll faster than the
+  // liveness timer so the accept goes out as soon as the cut rules fire.
+  if (propose_poll_armed_) return;
+  propose_poll_armed_ = true;
+  sim::Time poll = std::max<sim::Time>(500, cfg_.block.max_delay_us / 4);
+  SetTimer(poll, [this] {
+    propose_poll_armed_ = false;
+    ProposePending();
+  });
+}
+
 void PaxosReplica::ProposePending() {
   if (!leading_) return;
   while (pool_size() > 0 && proposing_.size() < kMaxInFlight) {
     Batch batch = TakeBatch();
-    if (batch.empty()) break;
+    if (batch.empty()) {
+      if (cfg_.block.enabled) SchedulePendingPropose();
+      break;
+    }
     uint64_t slot = next_slot_++;
     proposing_[slot] = batch;
     auto a = std::make_shared<PaxosAccept>();

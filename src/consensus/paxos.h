@@ -44,7 +44,11 @@ struct PaxosPromise : sim::Message {
   std::vector<Accepted> accepted;
   uint64_t last_committed = 0;
   const char* type() const override { return "paxos-promise"; }
-  size_t ByteSize() const override { return 64 + accepted.size() * 96; }
+  size_t ByteSize() const override {
+    size_t bytes = 64;
+    for (const auto& a : accepted) bytes += 32 + a.value.WireBytes();
+    return bytes;
+  }
 };
 
 struct PaxosAccept : sim::Message {
@@ -52,7 +56,7 @@ struct PaxosAccept : sim::Message {
   uint64_t slot = 0;
   Batch value;
   const char* type() const override { return "paxos-accept"; }
-  size_t ByteSize() const override { return 80 + value.size() * 64; }
+  size_t ByteSize() const override { return 80 + value.WireBytes(); }
 };
 
 struct PaxosAccepted : sim::Message {
@@ -65,7 +69,7 @@ struct PaxosCommit : sim::Message {
   uint64_t slot = 0;
   Batch value;
   const char* type() const override { return "paxos-commit"; }
-  size_t ByteSize() const override { return 72 + value.size() * 64; }
+  size_t ByteSize() const override { return 72 + value.WireBytes(); }
 };
 
 /// \brief A Multi-Paxos replica (proposer + acceptor + learner in one).
@@ -85,6 +89,8 @@ class PaxosReplica : public Replica {
   void TryBecomeLeader();
   void HandlePromise(sim::NodeId from, const PaxosPromise& m);
   void ProposePending();
+  /// Block mode: re-poll TakeBatch until the cut rules fire.
+  void SchedulePendingPropose();
   void HandleAccepted(sim::NodeId from, const PaxosAccepted& m);
   // Acceptor.
   void HandlePrepare(sim::NodeId from, const PaxosPrepare& m);
@@ -119,6 +125,7 @@ class PaxosReplica : public Replica {
   uint64_t last_learned_ = 0;
 
   uint64_t timer_epoch_ = 0;
+  bool propose_poll_armed_ = false;
 };
 
 }  // namespace pbc::consensus

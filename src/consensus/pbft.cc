@@ -41,9 +41,14 @@ void PbftReplica::OnStart() {
 
 void PbftReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (byzantine_mode() == ByzantineMode::kSilent) return;
+  if (HandleBlockMessage(from, msg)) return;
   const char* t = msg->type();
   if (t == std::string("pbft-preprepare")) {
-    HandlePrePrepare(from, static_cast<const PbftPrePrepare&>(*msg));
+    const auto& pp = static_cast<const PbftPrePrepare&>(*msg);
+    // The client-authenticity check below needs the block body; park the
+    // pre-prepare until it arrives (it travels beside the proposal).
+    if (!EnsureBodyOrFetch(from, msg, pp.batch)) return;
+    HandlePrePrepare(from, pp);
   } else if (t == std::string("pbft-prepare")) {
     HandlePrepare(from, static_cast<const PbftPrepare&>(*msg));
   } else if (t == std::string("pbft-commit")) {
@@ -373,6 +378,10 @@ void PbftReplica::HandleNewView(sim::NodeId from, const PbftNewView& m) {
     if (!slot.committed) {
       slot = Slot{};
     }
+    // A re-proposed block-ref whose body we never saw: park a standalone
+    // pre-prepare (re-dispatched via OnMessage once the body is fetched).
+    auto standalone = std::make_shared<PbftPrePrepare>(pp);
+    if (!EnsureBodyOrFetch(from, standalone, pp.batch)) continue;
     HandlePrePrepare(from, pp);
   }
   ArmProgressTimer();

@@ -36,7 +36,7 @@ struct PbftPrePrepare : sim::Message {
   crypto::Hash256 digest;
   crypto::Signature sig;
   const char* type() const override { return "pbft-preprepare"; }
-  size_t ByteSize() const override { return 96 + batch.size() * 64; }
+  size_t ByteSize() const override { return 96 + batch.WireBytes(); }
 };
 
 struct PbftPrepare : sim::Message {
@@ -68,7 +68,11 @@ struct PbftViewChange : sim::Message {
   std::vector<PreparedProof> prepared;
   crypto::Signature sig;
   const char* type() const override { return "pbft-viewchange"; }
-  size_t ByteSize() const override { return 96 + prepared.size() * 128; }
+  size_t ByteSize() const override {
+    size_t bytes = 96;
+    for (const auto& p : prepared) bytes += 64 + p.batch.WireBytes();
+    return bytes;
+  }
 };
 
 struct PbftNewView : sim::Message {
@@ -76,7 +80,11 @@ struct PbftNewView : sim::Message {
   std::vector<PbftPrePrepare> preprepares;
   crypto::Signature sig;
   const char* type() const override { return "pbft-newview"; }
-  size_t ByteSize() const override { return 96 + preprepares.size() * 128; }
+  size_t ByteSize() const override {
+    size_t bytes = 96;
+    for (const auto& pp : preprepares) bytes += 32 + pp.ByteSize();
+    return bytes;
+  }
 };
 
 /// \brief A PBFT replica.

@@ -108,6 +108,7 @@ void RaftReplica::SendAppendTo(size_t peer_index) {
 }
 
 void RaftReplica::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (HandleBlockMessage(from, msg)) return;
   const char* t = msg->type();
   if (t == std::string("raft-reqvote")) {
     HandleRequestVote(from, static_cast<const RaftRequestVote&>(*msg));

@@ -45,7 +45,7 @@ struct RaftAppendEntries : sim::Message {
   const char* type() const override { return "raft-append"; }
   size_t ByteSize() const override {
     size_t bytes = 96;
-    for (const auto& e : entries) bytes += 32 + e.batch.size() * 64;
+    for (const auto& e : entries) bytes += 32 + e.batch.WireBytes();
     return bytes;
   }
 };

@@ -1,5 +1,6 @@
 // Base class shared by all consensus replicas: transaction pool, in-order
-// batch delivery, and the hash-chained ledger each replica maintains.
+// batch delivery, the hash-chained ledger each replica maintains, and the
+// block pipeline (body dissemination + fetch) when block mode is enabled.
 #ifndef PBC_CONSENSUS_REPLICA_H_
 #define PBC_CONSENSUS_REPLICA_H_
 
@@ -7,7 +8,10 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "block/store.h"
 #include "consensus/types.h"
 #include "crypto/auth.h"
 #include "ledger/chain.h"
@@ -18,12 +22,38 @@ namespace pbc::consensus {
 using CommitListener =
     std::function<void(sim::NodeId replica, uint64_t seq, const Batch&)>;
 
+/// \brief Block body dissemination: sent by a proposer alongside its
+/// block-ref proposal, and by any replica answering a fetch.
+struct BlockBodyMsg : sim::Message {
+  ledger::Block body;
+  const char* type() const override { return "block-body"; }
+  size_t ByteSize() const override { return 80 + body.txns.size() * 64; }
+};
+
+/// \brief Pull request for a block body this replica ordered but never
+/// received (lost to a crash, partition, or a Byzantine proposer).
+struct BlockFetchMsg : sim::Message {
+  crypto::Hash256 hash;
+  const char* type() const override { return "block-fetch"; }
+  size_t ByteSize() const override { return 40; }
+};
+
 /// \brief Common replica machinery.
 ///
 /// Protocol subclasses implement agreement and call `DeliverCommitted`
 /// with (sequence, batch) pairs; this class buffers out-of-order arrivals,
 /// appends non-empty batches to the replica's chain in sequence order, and
 /// tracks committed transaction ids so re-proposals are deduplicated.
+///
+/// Block mode (cfg_.block.enabled): TakeBatch seals pool transactions into
+/// a `ledger::Block` under the cut rules, broadcasts the body, and returns
+/// a compact block-ref batch for the protocol to order. Delivery resolves
+/// refs through the local block store, stalling (and fetching) when a body
+/// has not arrived yet. Protocols opt in with two hooks:
+///  * OnMessage first line: `if (HandleBlockMessage(from, msg)) return;`
+///  * body-dependent handlers (client-authenticity checks): guard with
+///    `if (!EnsureBodyOrFetch(from, msg, batch)) return;` — the message is
+///    parked and re-dispatched through OnMessage when the body lands.
 class Replica : public sim::Node {
  public:
   Replica(sim::NodeId id, sim::Network* net, ClusterConfig config,
@@ -36,6 +66,16 @@ class Replica : public sim::Node {
   uint64_t committed_txns() const { return committed_txns_; }
   uint64_t last_delivered_seq() const { return next_deliver_ - 1; }
   size_t pool_size() const { return pool_.size(); }
+  const block::BlockStore& block_store() const { return blocks_; }
+  /// Decided sequences buffered ahead of in-order delivery.
+  size_t pending_deliveries() const { return out_of_order_.size(); }
+  /// True when the next in-order sequence is decided but its block body
+  /// has not arrived yet (delivery is stalled on a fetch).
+  bool delivery_stalled_on_body() const {
+    auto it = out_of_order_.find(next_deliver_);
+    return it != out_of_order_.end() && it->second.block_ref &&
+           !it->second.empty() && !blocks_.Contains(it->second.block_hash);
+  }
 
   void set_commit_listener(CommitListener listener) {
     listener_ = std::move(listener);
@@ -50,13 +90,20 @@ class Replica : public sim::Node {
   /// Duplicate delivery of the same sequence is ignored (protocols may
   /// decide a sequence more than once during view changes — the decided
   /// value is necessarily identical if the protocol is safe, and tests
-  /// assert exactly that via chain comparison).
+  /// assert exactly that via chain comparison). A block-ref batch whose
+  /// body has not arrived stalls delivery (of it and every later
+  /// sequence) until the fetch completes.
   void DeliverCommitted(uint64_t seq, Batch batch);
 
-  /// Removes up to batch_size pool transactions and returns them.
+  /// Removes up to batch_size pool transactions and returns them. In
+  /// block mode (for honest replicas): returns an EMPTY batch until a cut
+  /// is due, then seals a block, broadcasts its body, and returns a
+  /// block-ref. Byzantine proposers keep using inline batches so the
+  /// equivocation fork paths stay byte-level meaningful.
   Batch TakeBatch();
 
   /// Puts a batch's transactions back into the pool (failed proposal).
+  /// Block-refs resolve through the block store.
   void ReturnToPool(const Batch& batch);
 
   /// Models client-request authenticity: true iff every transaction in
@@ -64,13 +111,21 @@ class Replica : public sim::Node {
   /// transaction (clients broadcast to all replicas, so honest proposals
   /// always pass). A transaction fabricated by a Byzantine leader was
   /// never submitted, so honest replicas refuse to endorse the batch —
-  /// the stand-in for verifying client signatures on requests.
-  bool KnownClientTxns(const Batch& batch) const {
-    for (const auto& t : batch.txns) {
-      if (seen_ids_.count(t.id) == 0) return false;
-    }
-    return true;
-  }
+  /// the stand-in for verifying client signatures on requests. For a
+  /// block-ref batch the check runs over the stored body (callers must
+  /// EnsureBodyOrFetch first; a missing body fails closed).
+  bool KnownClientTxns(const Batch& batch) const;
+
+  /// Dispatches block-body / block-fetch traffic. Protocols call this at
+  /// the top of OnMessage; returns true when the message was consumed.
+  bool HandleBlockMessage(sim::NodeId from, const sim::MessagePtr& msg);
+
+  /// True when `batch` is inline, empty, or its body is stored locally.
+  /// Otherwise parks `msg` keyed by the block hash, broadcasts a fetch,
+  /// and returns false; the parked message is re-dispatched through
+  /// OnMessage when the body arrives.
+  bool EnsureBodyOrFetch(sim::NodeId from, const sim::MessagePtr& msg,
+                         const Batch& batch);
 
   /// Signs a protocol digest with this replica's key.
   crypto::Signature Sign(const crypto::Hash256& digest) const {
@@ -85,6 +140,14 @@ class Replica : public sim::Node {
   ClusterConfig cfg_;
 
  private:
+  /// Delivers every consecutive ready sequence; stalls on a missing body.
+  void DrainDeliveries();
+  /// Body landed: unpark waiting protocol messages, retry delivery.
+  void OnBlockBody(const ledger::Block& body);
+  /// Broadcasts a fetch for `hash` with a deterministic retry timer.
+  void RequestBody(const crypto::Hash256& hash);
+  void ErasePoolTxn(txn::TxnId id);
+
   crypto::PrivateKey key_;
   const crypto::KeyRegistry* registry_;
 
@@ -102,6 +165,18 @@ class Replica : public sim::Node {
   uint64_t committed_txns_ = 0;
   CommitListener listener_;
   ByzantineMode byzantine_ = ByzantineMode::kHonest;
+
+  // --- Block pipeline state --------------------------------------------
+  block::BlockStore blocks_;
+  /// Pool arrival times (block mode only) driving the timer-cut rule.
+  std::map<txn::TxnId, sim::Time> arrival_us_;
+  /// Local count of blocks this replica sealed (header height source).
+  uint64_t sealed_blocks_ = 0;
+  /// Protocol messages waiting for a body, keyed by block hash.
+  std::map<crypto::Hash256, std::vector<std::pair<sim::NodeId, sim::MessagePtr>>>
+      parked_;
+  /// Last fetch broadcast per missing hash (rate-limits re-requests).
+  std::map<crypto::Hash256, sim::Time> fetch_sent_us_;
 };
 
 }  // namespace pbc::consensus

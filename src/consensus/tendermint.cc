@@ -100,12 +100,36 @@ void TendermintReplica::StartRound(uint64_t round) {
       BroadcastProposal(*locked_value_);
     } else if (pool_size() > 0) {
       Batch batch = TakeBatch();
-      BroadcastProposal(batch);
+      if (!batch.empty()) {
+        BroadcastProposal(batch);
+      } else {
+        // Block mode: no cut is due yet. Poll again within the round so
+        // the proposal goes out as soon as the cut rules fire.
+        SchedulePendingProposal();
+      }
     }
     // An idle proposer with nothing to propose stays silent; peers remain
     // idle too (they only activate on work or traffic), so no churn.
   }
   ArmStepTimeout(Step::kPropose);
+}
+
+void TendermintReplica::SchedulePendingProposal() {
+  uint64_t h = height_;
+  uint64_t r = round_;
+  sim::Time poll = std::max<sim::Time>(500, cfg_.block.max_delay_us / 4);
+  SetTimer(poll, [this, h, r] {
+    if (byzantine_mode() == ByzantineMode::kSilent) return;
+    if (h != height_ || r != round_ || step_ != Step::kPropose) return;
+    if (cfg_.replicas[ProposerIndexFor(height_, round_)] != id()) return;
+    if (locked_value_.has_value() || pool_size() == 0) return;
+    Batch batch = TakeBatch();
+    if (!batch.empty()) {
+      BroadcastProposal(batch);
+    } else {
+      SchedulePendingProposal();
+    }
+  });
 }
 
 void TendermintReplica::BroadcastProposal(const Batch& batch) {
@@ -182,9 +206,14 @@ void TendermintReplica::CastVote(bool precommit,
 void TendermintReplica::OnMessage(sim::NodeId from,
                                   const sim::MessagePtr& msg) {
   if (byzantine_mode() == ByzantineMode::kSilent) return;
+  if (HandleBlockMessage(from, msg)) return;
   const char* t = msg->type();
   if (t == std::string("tm-proposal")) {
-    HandleProposal(from, static_cast<const TmProposal&>(*msg));
+    const auto& proposal = static_cast<const TmProposal&>(*msg);
+    // Prevoting checks client authenticity against the block body; park
+    // the proposal until the body (broadcast alongside it) arrives.
+    if (!EnsureBodyOrFetch(from, msg, proposal.batch)) return;
+    HandleProposal(from, proposal);
   } else if (t == std::string("tm-prevote") ||
              t == std::string("tm-precommit")) {
     HandleVote(from, static_cast<const TmVote&>(*msg));

@@ -27,7 +27,7 @@ struct TmProposal : sim::Message {
   crypto::Hash256 digest;
   crypto::Signature sig;
   const char* type() const override { return "tm-proposal"; }
-  size_t ByteSize() const override { return 96 + batch.size() * 64; }
+  size_t ByteSize() const override { return 96 + batch.WireBytes(); }
 };
 
 /// Prevote / precommit share a shape; `digest == Zero` encodes nil.
@@ -55,7 +55,7 @@ struct TmDecision : sim::Message {
   std::vector<crypto::Signature> precommit_sigs;
   const char* type() const override { return "tm-decision"; }
   size_t ByteSize() const override {
-    return 96 + batch.size() * 64 + precommit_sigs.size() * 40;
+    return 96 + batch.WireBytes() + precommit_sigs.size() * 40;
   }
 };
 
@@ -81,6 +81,9 @@ class TendermintReplica : public Replica {
 
   void Activate();
   void StartRound(uint64_t round);
+  /// Block mode: the proposer's pool has txns but no cut is due yet;
+  /// re-poll TakeBatch within the round until the cut rules fire.
+  void SchedulePendingProposal();
   void BroadcastProposal(const Batch& batch);
   void CastVote(bool precommit, const crypto::Hash256& digest);
   void HandleProposal(sim::NodeId from, const TmProposal& m);

@@ -3,6 +3,7 @@
 namespace pbc::consensus {
 
 crypto::Hash256 Batch::Digest() const {
+  if (block_ref) return block_hash;
   crypto::Sha256 h;
   h.Update(std::string("pbc-batch"));
   h.UpdateU64(txns.size());

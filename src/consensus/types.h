@@ -17,14 +17,40 @@ namespace pbc::consensus {
 /// Consensus orders batches; the hash-chained `ledger::Block` is constructed
 /// deterministically at commit time from the agreed batch sequence, so
 /// protocols can pipeline agreement without knowing the previous block hash.
+///
+/// Two wire forms coexist (DESIGN.md §11):
+///  * inline — `txns` carries the payload (the original per-txn path);
+///  * block-ref — `block_ref` is set, `txns` stays empty, and the batch
+///    names a sealed block by `block_hash`. The body is disseminated
+///    beside the protocol and fetched into each replica's block store;
+///    consensus itself only moves the 32-byte hash.
 struct Batch {
   std::vector<txn::Transaction> txns;
 
-  /// Content digest (Merkle-free flat hash; order-sensitive).
+  bool block_ref = false;
+  crypto::Hash256 block_hash;   ///< header hash of the referenced block
+  uint32_t ref_txn_count = 0;   ///< txns in the referenced block's body
+
+  /// Content digest. For a block-ref batch this IS the block hash — the
+  /// compact value the protocol orders.
   crypto::Hash256 Digest() const;
 
-  bool empty() const { return txns.empty(); }
-  size_t size() const { return txns.size(); }
+  bool empty() const { return block_ref ? ref_txn_count == 0 : txns.empty(); }
+  size_t size() const { return block_ref ? ref_txn_count : txns.size(); }
+
+  /// Bytes this batch contributes to a carrying message: a block-ref is a
+  /// hash + count, an inline batch pays per transaction.
+  size_t WireBytes() const { return block_ref ? 40 : txns.size() * 64; }
+};
+
+/// \brief Block-pipeline batching policy (off by default: inline batches).
+struct BlockCutConfig {
+  bool enabled = false;
+  /// Size cut: seal a block once this many txns are pending.
+  size_t max_txns = 100;
+  /// Timer cut: seal a partial block once the oldest pending txn has
+  /// waited this long (µs, simulated). 0 disables the timer cut.
+  sim::Time max_delay_us = 5000;
 };
 
 /// \brief Static description of one consensus cluster.
@@ -36,8 +62,13 @@ struct ClusterConfig {
   /// (2f+1 with attested logs); CFT protocols need n >= 2f+1.
   uint32_t f = 1;
 
-  /// Max transactions per proposed batch.
+  /// Max transactions per proposed batch (inline mode).
   size_t batch_size = 100;
+
+  /// Block pipeline: when enabled, proposers seal pool txns into
+  /// hash-chained blocks under these cut rules and consensus orders the
+  /// block hashes instead of inline payloads.
+  BlockCutConfig block;
 
   /// Leader/progress timeout before a view/round/term change (µs).
   sim::Time timeout_us = 60000;

@@ -80,7 +80,7 @@ TYPED_TEST(ArchCommonTest, LedgerRecordsCommittedTxns) {
 TYPED_TEST(ArchCommonTest, EmptyBlockIsHarmless) {
   ThreadPool pool(2);
   auto arch = Make<TypeParam>(&pool);
-  arch->ProcessBlock({});
+  arch->ProcessBlock(std::vector<Transaction>{});
   EXPECT_EQ(arch->stats().committed, 0u);
   EXPECT_EQ(arch->chain().height(), 0u);
 }
@@ -414,6 +414,59 @@ TEST_P(ArchPropertyTest, CrossArchitectureInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArchPropertyTest,
                          ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+// ---------------------------------------------------------------------------
+// The explicit snapshot/commit boundary (block::GateAndCommit).
+// ---------------------------------------------------------------------------
+
+// Regression pin for the intra-block conflict semantics shared by the
+// whole XOV family: endorsement sees ONLY the pre-block snapshot, the
+// serial gate re-reads committed state at each txn's turn. A reader of a
+// key an earlier valid txn wrote must abort under block order (XOV,
+// FastFabric) and must be SAVED by a reorder plan that gates the reader
+// first (Fabric++/FabricSharp) — both behaviours flow through the same
+// block::GateAndCommit, just with different orders.
+TEST(SnapshotBoundaryTest, IntraBlockConflictPinnedAcrossValidators) {
+  std::vector<Transaction> block = {
+      T(1, {Op::Write("k", "v1")}),
+      T(2, {Op::Read("k"), Op::Write("out", "x")}),
+  };
+  ThreadPool pool(4);
+
+  XovArchitecture xov(&pool);
+  xov.ProcessBlock(block);
+  EXPECT_EQ(xov.stats().committed, 1u);
+  EXPECT_EQ(xov.stats().aborted, 1u);
+  EXPECT_FALSE(xov.store().Get("out").ok());
+
+  FastFabricArchitecture ff(&pool);
+  ff.ProcessBlock(block);
+  EXPECT_EQ(ff.stats().committed, 1u);
+  EXPECT_EQ(ff.stats().aborted, 1u);
+  EXPECT_TRUE(ff.store().SameLatestState(xov.store()));
+
+  FabricPPArchitecture fpp(&pool);
+  fpp.ProcessBlock(block);
+  EXPECT_EQ(fpp.stats().committed, 2u);  // reader gated before the writer
+  EXPECT_EQ(fpp.stats().aborted, 0u);
+  EXPECT_EQ(fpp.store().Get("out").ValueOrDie().value, "x");
+
+  FabricSharpArchitecture fsharp(&pool);
+  fsharp.ProcessBlock(block);
+  EXPECT_EQ(fsharp.stats().committed, 2u);
+  EXPECT_TRUE(fsharp.store().SameLatestState(fpp.store()));
+}
+
+// Architectures consume consensus-ordered ledger::Block bodies directly.
+TEST(SnapshotBoundaryTest, ProcessBlockAcceptsLedgerBlockBodies) {
+  ThreadPool pool(2);
+  XovArchitecture xov(&pool);
+  ledger::Block body = ledger::Block::Make(
+      0, crypto::Hash256{}, DisjointBlock(5), /*timestamp_us=*/7);
+  xov.ProcessBlock(body);
+  EXPECT_EQ(xov.stats().committed, 5u);
+  EXPECT_EQ(xov.chain().height(), 1u);
+}
 
 }  // namespace
 }  // namespace pbc::arch

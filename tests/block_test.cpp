@@ -1,0 +1,349 @@
+// Unit + property tests for the block pipeline (src/block): Fabric-style
+// cut rules, sealed-block hash stability, the classified conflict graph,
+// the shared MVCC gate, and the serial/parallel validator equivalence the
+// design leans on (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "block/builder.h"
+#include "block/conflict.h"
+#include "block/store.h"
+#include "block/validator.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace pbc::block {
+namespace {
+
+using txn::Op;
+using txn::Transaction;
+
+Transaction T(txn::TxnId id, std::vector<Op> ops) {
+  Transaction t;
+  t.id = id;
+  t.ops = std::move(ops);
+  return t;
+}
+
+// Canonical latest-state dump, so "same state" comparisons are literal
+// byte comparisons.
+std::string DumpState(const store::KvStore& s) {
+  std::string out;
+  s.ForEachLatest(
+      [&out](const store::Key& k, const store::VersionedValue& v) {
+        out += k + "=" + v.value + "@" + std::to_string(v.version) + ";";
+      });
+  out += "last=" + std::to_string(s.last_committed());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cut rules.
+// ---------------------------------------------------------------------------
+
+TEST(CutRulesTest, NoCutBelowSizeAndDelay) {
+  CutRules rules{/*max_txns=*/4, /*max_delay_us=*/5000};
+  EXPECT_FALSE(rules.CutDue(0, 0, 1'000'000));  // nothing pending
+  EXPECT_FALSE(rules.CutDue(3, 1000, 5999));    // 3 < 4, waited 4999 < 5000
+}
+
+TEST(CutRulesTest, SizeCutFiresAtCapacity) {
+  CutRules rules{4, 5000};
+  EXPECT_TRUE(rules.CutDue(4, 0, 0));  // full block cuts immediately
+  EXPECT_TRUE(rules.CutDue(9, 0, 0));
+}
+
+TEST(CutRulesTest, TimerCutFiresOnceOldestHasWaited) {
+  CutRules rules{100, 5000};
+  EXPECT_FALSE(rules.CutDue(1, 1000, 5999));
+  EXPECT_TRUE(rules.CutDue(1, 1000, 6000));
+}
+
+TEST(CutRulesTest, ZeroDelayDisablesTimerCut) {
+  CutRules rules{4, 0};
+  EXPECT_FALSE(rules.CutDue(3, 0, 3'600'000'000ULL));
+  EXPECT_TRUE(rules.CutDue(4, 0, 0));  // size rule still applies
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------------
+
+TEST(BlockBuilderTest, TakeCutEmptyUntilARuleFires) {
+  BlockBuilder b(CutRules{4, 5000});
+  for (int i = 0; i < 3; ++i) b.Add(T(i, {Op::Increment("k", 1)}), 0);
+  EXPECT_TRUE(b.TakeCut(100).empty());
+  EXPECT_EQ(b.pending(), 3u);
+  b.Add(T(3, {Op::Increment("k", 1)}), 100);
+  auto cut = b.TakeCut(100);  // size cut
+  ASSERT_EQ(cut.size(), 4u);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(BlockBuilderTest, SizeCutCapsAtMaxTxnsAndPreservesArrivalOrder) {
+  BlockBuilder b(CutRules{4, 5000});
+  for (int i = 0; i < 10; ++i) b.Add(T(100 + i, {Op::Increment("k", 1)}), 0);
+  auto cut = b.TakeCut(0);
+  ASSERT_EQ(cut.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cut[i].id, txn::TxnId(100 + i));
+  EXPECT_EQ(b.pending(), 6u);
+}
+
+TEST(BlockBuilderTest, TimerCutTakesPartialBlock) {
+  BlockBuilder b(CutRules{100, 5000});
+  b.Add(T(1, {Op::Increment("k", 1)}), 0);
+  b.Add(T(2, {Op::Increment("k", 1)}), 2000);
+  EXPECT_TRUE(b.TakeCut(4999).empty());
+  auto cut = b.TakeCut(5000);  // oldest waited exactly max_delay
+  EXPECT_EQ(cut.size(), 2u);
+}
+
+TEST(BlockBuilderTest, FlushOnIdleDrainsRegardlessOfRules) {
+  BlockBuilder b(CutRules{100, 0});
+  b.Add(T(1, {Op::Increment("k", 1)}), 0);
+  b.Add(T(2, {Op::Increment("k", 1)}), 0);
+  EXPECT_TRUE(b.TakeCut(1'000'000).empty());  // no rule fires
+  EXPECT_EQ(b.Flush().size(), 2u);
+  EXPECT_TRUE(b.Flush().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sealed-block identity (what consensus orders in place of the body).
+// ---------------------------------------------------------------------------
+
+TEST(BlockSealTest, HashIsStableForIdenticalContent) {
+  std::vector<Transaction> txns = {T(1, {Op::Write("a", "x")}),
+                                   T(2, {Op::Write("b", "y")})};
+  ledger::Block b1 = BlockBuilder::Seal(3, crypto::Hash256{}, txns, 42);
+  ledger::Block b2 = BlockBuilder::Seal(3, crypto::Hash256{}, txns, 42);
+  EXPECT_EQ(b1.header.Hash(), b2.header.Hash());
+  EXPECT_TRUE(b1.VerifyTxnRoot());
+}
+
+TEST(BlockSealTest, HashCommitsToOrderHeightAndTxns) {
+  std::vector<Transaction> txns = {T(1, {Op::Write("a", "x")}),
+                                   T(2, {Op::Write("b", "y")})};
+  std::vector<Transaction> swapped = {txns[1], txns[0]};
+  ledger::Block base = BlockBuilder::Seal(3, crypto::Hash256{}, txns, 42);
+  EXPECT_NE(base.header.Hash(),
+            BlockBuilder::Seal(3, crypto::Hash256{}, swapped, 42)
+                .header.Hash());
+  EXPECT_NE(base.header.Hash(),
+            BlockBuilder::Seal(4, crypto::Hash256{}, txns, 42).header.Hash());
+}
+
+TEST(BlockStoreTest, PutGetIsIdempotentByHeaderHash) {
+  BlockStore store;
+  ledger::Block b = BlockBuilder::Seal(
+      0, crypto::Hash256{}, {T(1, {Op::Write("a", "x")})}, 0);
+  crypto::Hash256 h = b.header.Hash();
+  EXPECT_TRUE(store.Put(b));
+  EXPECT_TRUE(store.Put(b));  // re-insert is fine
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.Contains(h));
+  EXPECT_EQ(store.Get(h)->txns.size(), 1u);
+}
+
+TEST(BlockStoreTest, RejectsBodyThatFailsItsOwnHeader) {
+  ledger::Block b = BlockBuilder::Seal(
+      0, crypto::Hash256{}, {T(1, {Op::Write("a", "x")})}, 0);
+  b.txns[0] = T(99, {Op::Write("a", "forged")});  // header root now wrong
+  BlockStore store;
+  EXPECT_FALSE(store.Put(b));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict graph.
+// ---------------------------------------------------------------------------
+
+TEST(ConflictGraphTest, WrEdgeFromWriterToLaterReader) {
+  auto g = ConflictGraph::Build(
+      {T(0, {Op::Write("a", "x")}), T(1, {Op::Read("a")})});
+  EXPECT_EQ(g.wr_edges(), 1u);
+  EXPECT_EQ(g.rw_edges(), 0u);
+  EXPECT_EQ(g.ww_edges(), 0u);
+  EXPECT_TRUE(g.HasWrEdge(0, 1));
+}
+
+TEST(ConflictGraphTest, RwEdgeFromReaderToLaterWriter) {
+  auto g = ConflictGraph::Build(
+      {T(0, {Op::Read("a")}), T(1, {Op::Write("a", "x")})});
+  EXPECT_EQ(g.rw_edges(), 1u);
+  EXPECT_EQ(g.wr_edges(), 0u);
+  EXPECT_TRUE(g.HasRwEdge(0, 1));
+}
+
+TEST(ConflictGraphTest, WwEdgeBetweenSuccessiveWriters) {
+  auto g = ConflictGraph::Build(
+      {T(0, {Op::Write("a", "x")}), T(1, {Op::Write("a", "y")})});
+  EXPECT_EQ(g.ww_edges(), 1u);
+  EXPECT_TRUE(g.HasWwEdge(0, 1));
+}
+
+TEST(ConflictGraphTest, IndependentTxnsShareOneWideLevel) {
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 6; ++i) {
+    txns.push_back(T(i, {Op::Write("k" + std::to_string(i), "v")}));
+  }
+  auto g = ConflictGraph::Build(txns);
+  EXPECT_EQ(g.num_edges(), 0u);
+  ASSERT_EQ(g.Levels().size(), 1u);
+  EXPECT_EQ(g.MaxLevelWidth(), 6u);
+}
+
+TEST(ConflictGraphTest, ConflictChainSerializesIntoLevels) {
+  auto g = ConflictGraph::Build({T(0, {Op::Write("a", "x")}),
+                                 T(1, {Op::Read("a"), Op::Write("b", "y")}),
+                                 T(2, {Op::Read("b")})});
+  EXPECT_EQ(g.Levels().size(), 3u);
+  EXPECT_EQ(g.MaxLevelWidth(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The MVCC gate: the explicit snapshot/commit boundary.
+// ---------------------------------------------------------------------------
+
+std::vector<Endorsed> EndorseAgainstSnapshot(
+    const std::vector<Transaction>& txns, const store::KvStore& store) {
+  std::vector<Endorsed> endorsed(txns.size());
+  store::Version snapshot = store.last_committed();
+  for (size_t i = 0; i < txns.size(); ++i) {
+    endorsed[i].txn = &txns[i];
+    endorsed[i].result =
+        txn::Execute(txns[i], txn::SnapshotReader(&store, snapshot));
+  }
+  return endorsed;
+}
+
+// Regression pin for the intra-block conflict semantics: both txns endorse
+// against the pre-block snapshot, but the gate re-reads committed state at
+// each txn's turn — so a read of a key an earlier valid txn wrote aborts.
+TEST(GateAndCommitTest, IntraBlockWriteInvalidatesLaterReaderInBlockOrder) {
+  store::KvStore store;
+  std::vector<Transaction> txns = {
+      T(1, {Op::Write("k", "v1")}),
+      T(2, {Op::Read("k"), Op::Write("m", "v2")}),
+  };
+  auto endorsed = EndorseAgainstSnapshot(txns, store);
+  EXPECT_EQ(GateAndCommit(&endorsed, {0, 1}, &store), 1u);
+  EXPECT_TRUE(endorsed[0].valid);
+  EXPECT_FALSE(endorsed[1].valid);  // read k@0, but k is now @1
+  EXPECT_FALSE(store.Get("m").ok());
+}
+
+// Same endorsements, reader-first order: both commit. This is the hook
+// Fabric++/FabricSharp reorder plans feed.
+TEST(GateAndCommitTest, ReorderedValidationOrderSavesTheReader) {
+  store::KvStore store;
+  std::vector<Transaction> txns = {
+      T(1, {Op::Write("k", "v1")}),
+      T(2, {Op::Read("k"), Op::Write("m", "v2")}),
+  };
+  auto endorsed = EndorseAgainstSnapshot(txns, store);
+  EXPECT_EQ(GateAndCommit(&endorsed, {1, 0}, &store), 2u);
+  EXPECT_TRUE(endorsed[0].valid);
+  EXPECT_TRUE(endorsed[1].valid);
+  EXPECT_EQ(store.Get("k").ValueOrDie().value, "v1");
+  EXPECT_EQ(store.Get("m").ValueOrDie().value, "v2");
+}
+
+// Fabric's MVCC check only validates reads: blind write-write conflicts
+// both commit, last writer (in validation order) wins.
+TEST(GateAndCommitTest, BlindWriteWriteConflictBothCommit) {
+  store::KvStore store;
+  std::vector<Transaction> txns = {
+      T(1, {Op::Write("k", "first")}),
+      T(2, {Op::Write("k", "second")}),
+  };
+  auto endorsed = EndorseAgainstSnapshot(txns, store);
+  EXPECT_EQ(GateAndCommit(&endorsed, {0, 1}, &store), 2u);
+  EXPECT_EQ(store.Get("k").ValueOrDie().value, "second");
+}
+
+// ---------------------------------------------------------------------------
+// Serial/parallel equivalence (the tentpole property).
+// ---------------------------------------------------------------------------
+
+std::vector<Transaction> RandomBlock(Rng* rng, size_t n, txn::TxnId base) {
+  std::vector<Transaction> txns;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Op> ops;
+    size_t num_ops = 1 + rng->NextU64(3);
+    for (size_t o = 0; o < num_ops; ++o) {
+      std::string key = "k" + std::to_string(rng->NextU64(8));
+      switch (rng->NextU64(3)) {
+        case 0:
+          ops.push_back(Op::Read(key));
+          break;
+        case 1:
+          ops.push_back(Op::Write(key, "v" + std::to_string(rng->NextU64())));
+          break;
+        default:
+          ops.push_back(Op::Increment(key, 1 + rng->NextU64(9)));
+          break;
+      }
+    }
+    txns.push_back(T(base + i, std::move(ops)));
+  }
+  return txns;
+}
+
+// ParallelValidator must be byte-identical to SerialValidator — same
+// validity flags, same final state, same commit counters — for every seed
+// and every pool width.
+TEST(ValidatorEquivalenceTest, ParallelMatchesSerialAcrossSeedsAndJobs) {
+  constexpr size_t kBlocks = 3;
+  constexpr size_t kTxnsPerBlock = 40;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    // Serial reference.
+    store::KvStore serial_store;
+    SerialValidator serial(&serial_store);
+    std::vector<std::vector<bool>> serial_flags;
+    {
+      Rng rng(seed);
+      for (size_t b = 0; b < kBlocks; ++b) {
+        serial_flags.push_back(serial.ProcessBlock(
+            RandomBlock(&rng, kTxnsPerBlock, b * 1000)));
+      }
+    }
+    std::string golden = DumpState(serial_store);
+
+    for (size_t jobs : {1u, 2u, 8u}) {
+      ThreadPool pool(jobs);
+      store::KvStore par_store;
+      ParallelValidator parallel(&pool, &par_store);
+      Rng rng(seed);
+      for (size_t b = 0; b < kBlocks; ++b) {
+        EXPECT_EQ(parallel.ProcessBlock(
+                      RandomBlock(&rng, kTxnsPerBlock, b * 1000)),
+                  serial_flags[b])
+            << "seed=" << seed << " jobs=" << jobs << " block=" << b;
+      }
+      EXPECT_EQ(DumpState(par_store), golden)
+          << "seed=" << seed << " jobs=" << jobs;
+      EXPECT_EQ(parallel.stats().committed, serial.stats().committed);
+      EXPECT_EQ(parallel.stats().aborted, serial.stats().aborted);
+    }
+    EXPECT_EQ(serial.stats().txns, kBlocks * kTxnsPerBlock);
+  }
+}
+
+// The parallel validator also reports its scheduling shape.
+TEST(ValidatorEquivalenceTest, ParallelValidatorReportsConflictShape) {
+  ThreadPool pool(4);
+  store::KvStore store;
+  ParallelValidator validator(&pool, &store);
+  validator.ProcessBlock({T(0, {Op::Write("a", "x")}),
+                          T(1, {Op::Read("a"), Op::Write("b", "y")}),
+                          T(2, {Op::Write("c", "z")})});
+  EXPECT_EQ(validator.stats().blocks, 1u);
+  EXPECT_GE(validator.stats().conflict_edges, 1u);
+  EXPECT_EQ(validator.stats().levels, 2u);       // {t0,t2} then {t1}
+  EXPECT_EQ(validator.stats().max_level_width, 2u);
+}
+
+}  // namespace
+}  // namespace pbc::block

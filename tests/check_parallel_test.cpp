@@ -32,6 +32,14 @@ std::vector<RunConfig> LoadSeedCorpus() {
     EXPECT_TRUE(static_cast<bool>(fields >> cfg.protocol >> cfg.nemesis >>
                                   cfg.seed))
         << "bad corpus line: " << line;
+    std::string token;
+    while (fields >> token) {
+      // Optional trailing "block=<N>": replay through the consensus
+      // block pipeline with size cut N (mirrors check_test's parser).
+      EXPECT_EQ(token.rfind("block=", 0), 0u)
+          << "unknown corpus token '" << token << "' in: " << line;
+      cfg.block_max_txns = std::stoull(token.substr(6));
+    }
     cfg.txns = 20;
     cells.push_back(std::move(cfg));
   }
@@ -70,6 +78,47 @@ TEST(CheckParallelTest, GridReportIsByteIdenticalAcrossJobs) {
   EXPECT_EQ(golden, SweepDump(base, 8));
   // jobs=0 means hardware concurrency — still the same bytes.
   EXPECT_EQ(golden, SweepDump(base, 0));
+}
+
+// --- Block pipeline determinism ---------------------------------------------
+
+// Two identically-seeded faulted sweeps through the consensus block
+// pipeline must dump byte-identical reports, and the report must stay
+// byte-identical across --jobs. Block mode adds sealing, hash-ordering,
+// body dissemination, and fetch-on-miss to every run — none of it may
+// introduce schedule nondeterminism.
+TEST(CheckParallelTest, BlockModeFaultedReportIsByteIdenticalAcrossJobs) {
+  SweepOptions base;
+  base.protocols = {"pbft", "raft", "tendermint"};
+  base.nemeses = {"crash", "crash,partition"};
+  base.seeds = 3;
+  base.txns = 20;
+  base.block_max_txns = 10;
+  std::string golden = SweepDump(base, 1);
+  // Same options, fresh sweep: identically-seeded faulted block-mode
+  // runs reproduce the exact trace/metrics bytes.
+  EXPECT_EQ(golden, SweepDump(base, 1));
+  EXPECT_EQ(golden, SweepDump(base, 4));
+  EXPECT_EQ(golden, SweepDump(base, 8));
+}
+
+// Block mode must change the runs (different MixSeed stream, sealing
+// timers, body dissemination), not just be silently ignored: the
+// simulated event count diverges from the inline path on the same cell,
+// while both replay their own stream exactly.
+TEST(CheckParallelTest, BlockModeIsNotASilentNoOp) {
+  RunConfig inline_path;
+  inline_path.protocol = "raft";
+  inline_path.nemesis = "crash";
+  inline_path.seed = 0;
+  inline_path.txns = 20;
+  RunConfig block_path = inline_path;
+  block_path.block_max_txns = 10;
+  RunResult inline_result = RunOne(inline_path);
+  RunResult block_result = RunOne(block_path);
+  EXPECT_NE(inline_result.sim_events, block_result.sim_events);
+  EXPECT_EQ(block_result.sim_events, RunOne(block_path).sim_events);
+  EXPECT_TRUE(block_result.ok());
 }
 
 // --- Parallel shrinking: the mutation canary under --jobs > 1 ---------------

@@ -347,20 +347,29 @@ TEST(MutationCanaryTest, HealthyQuorumPassesSameSweep) {
 
 // --- Seed corpus ------------------------------------------------------------
 
-// tests/seeds.txt: one "<protocol> <nemesis> <seed>" per line. Seeds that
-// once found a bug (or exercised an interesting schedule) are committed
-// here and replayed on every CTest run.
+// tests/seeds.txt: one "<protocol> <nemesis> <seed> [block=<N>]" per
+// line (block=<N> replays through the consensus block pipeline with
+// size cut N). Seeds that once found a bug (or exercised an interesting
+// schedule) are committed here and replayed on every CTest run.
 TEST(SeedCorpusTest, ReplaysClean) {
   std::ifstream in(PBC_SEEDS_FILE);
   ASSERT_TRUE(in.is_open()) << "missing " << PBC_SEEDS_FILE;
   std::string line;
   size_t replayed = 0;
+  size_t block_mode = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     RunConfig cfg;
     ASSERT_TRUE(fields >> cfg.protocol >> cfg.nemesis >> cfg.seed)
         << "bad corpus line: " << line;
+    std::string token;
+    while (fields >> token) {
+      ASSERT_EQ(token.rfind("block=", 0), 0u)
+          << "unknown corpus token '" << token << "' in: " << line;
+      cfg.block_max_txns = std::stoull(token.substr(6));
+      ++block_mode;
+    }
     cfg.txns = 20;
     RunResult result = RunOne(cfg);
     for (const Violation& v : result.violations) {
@@ -371,6 +380,7 @@ TEST(SeedCorpusTest, ReplaysClean) {
     ++replayed;
   }
   EXPECT_GE(replayed, 10u) << "corpus unexpectedly small";
+  EXPECT_GE(block_mode, 5u) << "block-pipeline corpus coverage too thin";
 }
 
 }  // namespace
