@@ -1,0 +1,314 @@
+#include "check/adversary.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace pbc::check {
+
+namespace {
+
+struct ModeRow {
+  AdversaryMode mode;
+  const char* name;
+};
+constexpr ModeRow kModeTable[] = {
+    {AdversaryMode::kRandom, "random"},
+    {AdversaryMode::kLeader, "leader"},
+    {AdversaryMode::kQuorum, "quorum"},
+    {AdversaryMode::kChurn, "churn"},
+};
+static_assert(std::size(kModeTable) == std::size(kAllAdversaryModes),
+              "mode name table out of sync with kAllAdversaryModes");
+
+}  // namespace
+
+const char* AdversaryModeName(AdversaryMode mode) {
+  for (const ModeRow& row : kModeTable) {
+    if (row.mode == mode) return row.name;
+  }
+  return "?";
+}
+
+bool ParseAdversaryMode(const std::string& name, AdversaryMode* out) {
+  for (const ModeRow& row : kModeTable) {
+    if (name == row.name) {
+      *out = row.mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+ReactiveNemesis::ReactiveNemesis(Options options, sim::Simulator* sim,
+                                 sim::Network* net, GroupObserver observer,
+                                 ByzantineFlip flip)
+    : options_(std::move(options)),
+      sim_(sim),
+      net_(net),
+      observer_(std::move(observer)),
+      flip_(std::move(flip)),
+      // Private stream, distinct from the generator's and the simulator's,
+      // so adaptive and random modes never share randomness.
+      rng_(options_.seed ^ 0x5245414354A5A5ULL),
+      state_(options_.topology.groups.size()) {}
+
+void ReactiveNemesis::Arm() {
+  sim_->Schedule(options_.tick_us, [this] { Tick(); });
+}
+
+NemesisSchedule ReactiveNemesis::Trace() const {
+  std::vector<NemesisEvent> events = events_;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const NemesisEvent& a, const NemesisEvent& b) {
+                     return a.at < b.at;
+                   });
+  return NemesisSchedule::FromEvents(std::move(events));
+}
+
+bool ReactiveNemesis::IsNeverCrash(sim::NodeId id) const {
+  const auto& nc = options_.topology.never_crash;
+  return std::find(nc.begin(), nc.end(), id) != nc.end();
+}
+
+void ReactiveNemesis::Tick() {
+  const sim::Time now = sim_->now();
+  // Same contract as generated schedules: no fault *starts* after 55% of
+  // the horizon (already-scheduled recovers/heals drain by 70%), so a
+  // correct system always gets a fault-free tail to prove liveness in.
+  if (now >= FaultStartMax()) return;
+  for (size_t g = 0; g < options_.topology.groups.size(); ++g) {
+    if (now < state_[g].busy_until) continue;
+    GroupObservation obs = observer_ ? observer_(g) : GroupObservation{};
+    switch (options_.mode) {
+      case AdversaryMode::kRandom:
+        break;  // not reactive; handled by NemesisSchedule::Generate
+      case AdversaryMode::kLeader:
+        LeaderTick(g, obs);
+        break;
+      case AdversaryMode::kQuorum:
+        QuorumTick(g, obs);
+        break;
+      case AdversaryMode::kChurn:
+        ChurnTick(g, obs);
+        break;
+    }
+  }
+  sim_->Schedule(options_.tick_us, [this] { Tick(); });
+}
+
+void ReactiveNemesis::LeaderTick(size_t g, const GroupObservation& obs) {
+  const auto& group = options_.topology.groups[g];
+  GroupState& st = state_[g];
+  if (!obs.has_leader || obs.leader_index >= group.nodes.size()) return;
+  const sim::Time now = sim_->now();
+
+  // Phase 1 — crash the current leader once, forcing an election/view
+  // change while it is down.
+  if (!st.did_initial_crash) {
+    st.did_initial_crash = true;  // one attempt, eligible or not
+    sim::Time dur =
+        options_.horizon / 20 + rng_.NextU64(options_.horizon / 40 + 1);
+    sim::Time until = std::min(now + dur, FaultEnd());
+    if (InjectCrash(g, group.nodes[obs.leader_index], until)) {
+      st.busy_until = until + options_.horizon / 50;
+      return;
+    }
+  }
+
+  // Phase 2 (BFT only) — the leader observed after that forced election
+  // is the proposer the cluster just rotated to; flip it to equivocation
+  // so the proposer itself forks its proposals. Charged permanently
+  // against the group's fault budget.
+  if (options_.topology.supports_byzantine && !st.byzantine_used) {
+    if (InjectByzantineFlip(g, obs.leader_index)) {
+      st.busy_until = now + options_.horizon / 20;
+      return;
+    }
+  }
+
+  // Phase 3 — steady-state pressure: slow the fastest inbound link into
+  // whoever currently leads (delays are free; they only reorder).
+  sim::Time dur =
+      options_.horizon / 20 + rng_.NextU64(options_.horizon / 30 + 1);
+  sim::Time until = std::min(now + dur, FaultEnd());
+  if (until > now && group.nodes.size() >= 2) {
+    InjectLeaderDelay(g, obs.leader_index, until);
+    st.busy_until = until;
+  }
+}
+
+void ReactiveNemesis::QuorumTick(size_t g, const GroupObservation& obs) {
+  const auto& group = options_.topology.groups[g];
+  GroupState& st = state_[g];
+  const sim::Time now = sim_->now();
+  if (now < partition_busy_until_) return;
+  // Sharded topologies forbid arbitrary splits (see NemesisTopology).
+  if (!options_.topology.partition_whole_network) return;
+  size_t leader_index =
+      obs.has_leader && obs.leader_index < group.nodes.size()
+          ? obs.leader_index
+          : 0;  // no leader known yet: split around the rotation origin
+  sim::Time dur =
+      options_.horizon / 15 + rng_.NextU64(options_.horizon / 20 + 1);
+  sim::Time until = std::min(now + dur, FaultEnd());
+  if (until <= now) return;
+  InjectQuorumPartition(g, leader_index, until);
+  partition_busy_until_ = until + options_.horizon / 30;
+  st.busy_until = partition_busy_until_;
+}
+
+void ReactiveNemesis::ChurnTick(size_t g, const GroupObservation& obs) {
+  const auto& group = options_.topology.groups[g];
+  GroupState& st = state_[g];
+  if (!obs.has_leader || obs.leader_index >= group.nodes.size()) return;
+  const sim::Time now = sim_->now();
+  sim::Time dur =
+      options_.horizon / 40 + rng_.NextU64(options_.horizon / 60 + 1);
+  sim::Time until = std::min(now + dur, FaultEnd());
+  if (until <= now) return;
+  sim::NodeId victim = group.nodes[obs.leader_index];
+  if (IsNeverCrash(victim)) {
+    // Protected leader (a gateway): churn the expected successor instead.
+    if (!obs.has_next_leader || obs.next_leader_index >= group.nodes.size()) {
+      return;
+    }
+    victim = group.nodes[obs.next_leader_index];
+  }
+  if (InjectCrash(g, victim, until)) {
+    // Short gap, then re-target whoever leads by the next tick: sustained
+    // leader churn that follows leadership as it moves.
+    st.busy_until = until + options_.horizon / 200;
+  }
+}
+
+bool ReactiveNemesis::InjectCrash(size_t g, sim::NodeId victim,
+                                  sim::Time until) {
+  const auto& group = options_.topology.groups[g];
+  GroupState& st = state_[g];
+  if (st.active_faults >= group.max_faulty) return false;
+  if (IsNeverCrash(victim) || net_->IsCrashed(victim)) return false;
+  const sim::Time now = sim_->now();
+  if (until <= now) return false;
+  uint64_t window = next_window_++;
+  NemesisEvent crash;
+  crash.at = now;
+  crash.kind = NemesisKind::kCrash;
+  crash.window = window;
+  crash.node = victim;
+  NemesisEvent recover = crash;
+  recover.at = until;
+  recover.kind = NemesisKind::kRecover;
+  events_.push_back(crash);
+  events_.push_back(recover);
+  ++st.active_faults;
+  net_->Crash(victim);
+  sim_->Schedule(until - now, [this, g, victim] {
+    net_->Recover(victim);
+    --state_[g].active_faults;
+  });
+  return true;
+}
+
+void ReactiveNemesis::InjectQuorumPartition(size_t g, size_t leader_index,
+                                            sim::Time until) {
+  const auto& topo = options_.topology;
+  const auto& group = topo.groups[g];
+  const size_t n = group.nodes.size();
+  if (n < 2) return;
+  const uint32_t f = group.max_faulty;
+  // BFT (quorum 2f+1 of 3f+1): a leader side of exactly f+1 leaves BOTH
+  // sides short of quorum — total stall at the edge. CFT (majority f+1 of
+  // 2f+1): strand the leader in a minority of f so the other side elects
+  // a rival — the classic stale-leader split.
+  size_t leader_side = topo.supports_byzantine ? static_cast<size_t>(f) + 1
+                                               : static_cast<size_t>(f);
+  leader_side = std::max<size_t>(1, std::min(leader_side, n - 1));
+  std::vector<sim::NodeId> side_a;
+  side_a.push_back(group.nodes[leader_index]);
+  for (size_t i = 1; i < n && side_a.size() < leader_side; ++i) {
+    side_a.push_back(group.nodes[(leader_index + i) % n]);
+  }
+  std::set<sim::NodeId> in_a(side_a.begin(), side_a.end());
+  std::vector<sim::NodeId> side_b;
+  for (sim::NodeId id : topo.all_nodes) {
+    if (in_a.count(id) == 0) side_b.push_back(id);
+  }
+  if (side_b.empty()) return;
+  const sim::Time now = sim_->now();
+  uint64_t window = next_window_++;
+  NemesisEvent cut;
+  cut.at = now;
+  cut.kind = NemesisKind::kPartition;
+  cut.window = window;
+  cut.groups = {std::move(side_a), std::move(side_b)};
+  NemesisEvent heal;
+  heal.at = until;
+  heal.kind = NemesisKind::kHeal;
+  heal.window = window;
+  net_->Partition(cut.groups);
+  events_.push_back(std::move(cut));
+  events_.push_back(std::move(heal));
+  sim_->Schedule(until - now, [this] { net_->Heal(); });
+}
+
+void ReactiveNemesis::InjectLeaderDelay(size_t g, size_t leader_index,
+                                        sim::Time until) {
+  const auto& group = options_.topology.groups[g];
+  sim::NodeId leader = group.nodes[leader_index];
+  bool found = false;
+  sim::NodeId fastest = 0;
+  sim::Time best = 0;
+  for (sim::NodeId peer : group.nodes) {  // node order: deterministic ties
+    if (peer == leader) continue;
+    sim::Time base = net_->EffectiveLatency(peer, leader).base_us;
+    if (!found || base < best) {
+      found = true;
+      best = base;
+      fastest = peer;
+    }
+  }
+  if (!found) return;
+  const sim::Time now = sim_->now();
+  uint64_t window = next_window_++;
+  NemesisEvent slow;
+  slow.at = now;
+  slow.kind = NemesisKind::kDelay;
+  slow.window = window;
+  slow.from = fastest;
+  slow.to = leader;
+  slow.latency = {15'000 + rng_.NextU64(15'000), 2'000};
+  NemesisEvent clear = slow;
+  clear.at = until;
+  clear.kind = NemesisKind::kClearDelay;
+  net_->SetDirectionalLinkLatency(slow.from, slow.to, slow.latency);
+  events_.push_back(std::move(slow));
+  events_.push_back(std::move(clear));
+  sim_->Schedule(until - now, [this, from = fastest, to = leader] {
+    net_->SetDirectionalLinkLatency(from, to, options_.default_latency);
+  });
+}
+
+bool ReactiveNemesis::InjectByzantineFlip(size_t g, size_t replica_index) {
+  const auto& group = options_.topology.groups[g];
+  GroupState& st = state_[g];
+  if (replica_index >= group.nodes.size()) return false;
+  if (st.byzantine_used || st.active_faults >= group.max_faulty) return false;
+  if (!flip_) return false;
+  sim::NodeId node = group.nodes[replica_index];
+  if (IsNeverCrash(node) || net_->IsCrashed(node)) return false;
+  NemesisEvent ev;
+  ev.at = sim_->now();
+  ev.kind = NemesisKind::kByzantine;
+  ev.window = next_window_++;
+  ev.node = node;
+  ev.replica_index = replica_index;
+  ev.mode = consensus::ByzantineMode::kEquivocate;
+  events_.push_back(ev);
+  flip_(g, replica_index, ev.mode);
+  st.byzantine_used = true;
+  ++st.active_faults;  // a Byzantine member occupies its slot for good
+  return true;
+}
+
+}  // namespace pbc::check

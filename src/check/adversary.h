@@ -1,0 +1,149 @@
+// Adaptive, state-aware adversary: a nemesis that *reacts*.
+//
+// The schedule generator in nemesis.h fires faults at pre-scheduled times
+// over a fixed topology — good coverage of random badness, but it never
+// stresses the quorum edge the way a real attacker (or a correlated
+// datacenter failure) does. `ReactiveNemesis` instead observes simulator
+// state between events — the current leader of each cluster, its view
+// number, commit progress — and chooses its next fault to maximize
+// damage: crash the leader the moment it is elected, partition the
+// network exactly at the f+1/f quorum edge, slow the fastest link into
+// the leader, or Byzantine-flip the proposer the cluster is about to
+// elect.
+//
+// Determinism of observation (the property everything else rides on):
+// the adversary runs inside the simulator as ordinary scheduled events at
+// fixed tick times, reads only deterministic replica state through a
+// read-only observer, and draws all randomness from its own seeded Rng —
+// so an adaptive run is still a pure function of (config, seed). Every
+// fault it injects is recorded as a `NemesisEvent` (with a window id)
+// into a trace; `RunResult::schedule` carries that trace, and shrinking
+// replays *subsets of the trace statically* via RunWithSchedule — the
+// adversary does not re-run during replays, which keeps ddmin sound and
+// sweep reports byte-identical across `--jobs N`. See DESIGN.md §12.
+#ifndef PBC_CHECK_ADVERSARY_H_
+#define PBC_CHECK_ADVERSARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/nemesis.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbc::check {
+
+/// \brief Adversary strategies (`check_runner --adversary`).
+enum class AdversaryMode {
+  kRandom,  ///< pre-generated seeded schedule (NemesisSchedule::Generate)
+  kLeader,  ///< crash, delay and Byzantine-flip whoever leads
+  kQuorum,  ///< partition exactly at the quorum edge (f+1 / rest)
+  kChurn,   ///< sustained short crash windows that follow leadership
+};
+
+/// All modes, for exhaustiveness tests and flag validation.
+inline constexpr AdversaryMode kAllAdversaryModes[] = {
+    AdversaryMode::kRandom, AdversaryMode::kLeader, AdversaryMode::kQuorum,
+    AdversaryMode::kChurn};
+
+/// Stable wire name ("random", "leader", "quorum", "churn").
+const char* AdversaryModeName(AdversaryMode mode);
+/// Inverse of AdversaryModeName. Returns false on unknown names.
+bool ParseAdversaryMode(const std::string& name, AdversaryMode* out);
+
+/// \brief What the adversary may see of one consensus group between
+/// events. Pure observation aggregated across live replicas; never fed
+/// back into protocol logic.
+struct GroupObservation {
+  bool has_leader = false;
+  size_t leader_index = 0;       ///< index into the group's node list
+  bool has_next_leader = false;
+  size_t next_leader_index = 0;  ///< proposer after one view change
+  uint64_t view = 0;             ///< highest view/term/round observed
+  uint64_t commit_index = 0;     ///< max in-order commit across replicas
+};
+
+/// Reads the observation for topology group `g`.
+using GroupObserver = std::function<GroupObservation(size_t group)>;
+/// Applies a Byzantine mode to the replica at `replica_index` of group
+/// `group` (the harness maps indices onto its cluster).
+using ByzantineFlip = std::function<void(
+    size_t group, size_t replica_index, consensus::ByzantineMode mode)>;
+
+/// \brief The adaptive adversary. One instance drives one run: Arm() it
+/// before Network::Start(), then read Trace() after the run for the
+/// replayable fault schedule it actually executed.
+class ReactiveNemesis {
+ public:
+  struct Options {
+    AdversaryMode mode = AdversaryMode::kLeader;
+    NemesisTopology topology;
+    sim::Time horizon = 0;             ///< run horizon; faults end by 70%
+    uint64_t seed = 0;                 ///< adversary's private Rng stream
+    sim::Time tick_us = 500'000;       ///< observation cadence
+    sim::LinkLatency default_latency;  ///< restored when a delay clears
+  };
+
+  ReactiveNemesis(Options options, sim::Simulator* sim, sim::Network* net,
+                  GroupObserver observer, ByzantineFlip flip);
+
+  /// Schedules the first observation tick. Faults never start after
+  /// 0.55 * horizon and all end by 0.7 * horizon — the same fault-free
+  /// tail contract as generated schedules, so liveness stays achievable.
+  void Arm();
+
+  /// The faults injected so far, as a well-formed replayable schedule
+  /// (every crash paired with its recover, etc.), sorted by time.
+  NemesisSchedule Trace() const;
+
+  /// Instantaneous fault count charged against group `g`'s budget
+  /// (crashed-now plus permanently-Byzantine). Exposed for tests.
+  uint32_t active_faults(size_t g) const { return state_[g].active_faults; }
+
+ private:
+  struct GroupState {
+    uint32_t active_faults = 0;  ///< crashed-now + Byzantine members
+    bool byzantine_used = false;
+    bool did_initial_crash = false;  ///< leader mode: crash before flip
+    sim::Time busy_until = 0;        ///< cooldown before the next action
+  };
+
+  void Tick();
+  void LeaderTick(size_t g, const GroupObservation& obs);
+  void QuorumTick(size_t g, const GroupObservation& obs);
+  void ChurnTick(size_t g, const GroupObservation& obs);
+
+  /// Crash `victim` now, recover at `until`; records the window and keeps
+  /// the group's budget accounting. No-op (returns false) if the victim
+  /// is protected, already crashed, or the budget is exhausted.
+  bool InjectCrash(size_t g, sim::NodeId victim, sim::Time until);
+  /// Splits all_nodes into {leader side} / {rest} at the quorum edge.
+  void InjectQuorumPartition(size_t g, size_t leader_index, sim::Time until);
+  /// Slows the fastest inbound link into the leader until `until`.
+  void InjectLeaderDelay(size_t g, size_t leader_index, sim::Time until);
+  /// Permanently flips one replica to equivocation; charges the budget.
+  bool InjectByzantineFlip(size_t g, size_t replica_index);
+
+  sim::Time FaultStartMax() const { return options_.horizon * 55 / 100; }
+  sim::Time FaultEnd() const { return options_.horizon * 70 / 100; }
+  bool IsNeverCrash(sim::NodeId id) const;
+
+  Options options_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  GroupObserver observer_;
+  ByzantineFlip flip_;
+  Rng rng_;
+  std::vector<GroupState> state_;
+  /// Partitions are global network state: one window at a time.
+  sim::Time partition_busy_until_ = 0;
+  uint64_t next_window_ = 1;  // 0 is reserved for the clock-skew overlay
+  std::vector<NemesisEvent> events_;
+};
+
+}  // namespace pbc::check
+
+#endif  // PBC_CHECK_ADVERSARY_H_

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/adversary.h"
 #include "check/runner.h"
 
 namespace {
@@ -37,6 +38,12 @@ void Usage() {
       "  --mutate-quorum N     TEST-ONLY quorum slack; sweeps must catch\n"
       "  --block-max-txns N    run through the consensus block pipeline\n"
       "                        with size cut N (0 = inline batches)\n"
+      "  --adversary MODE      random|leader|quorum|churn (default random).\n"
+      "                        Non-random modes run the state-aware\n"
+      "                        adaptive adversary (consensus protocols;\n"
+      "                        sharded cells reduce to random)\n"
+      "  --clock-skew PPM      per-node clock-rate skew, alternated +/-PPM\n"
+      "                        across nodes (0 = off)\n"
       "  --no-shrink           report failures without shrinking\n"
       "  --shrink-budget N     max replays per failure (default 32)\n"
       "  --jobs N              worker threads (default: hardware\n"
@@ -101,6 +108,17 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(need_value(i++), nullptr, 10));
     } else if (!std::strcmp(arg, "--block-max-txns")) {
       options.block_max_txns = std::strtoull(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--adversary")) {
+      options.adversary = need_value(i++);
+      pbc::check::AdversaryMode parsed;
+      if (!pbc::check::ParseAdversaryMode(options.adversary, &parsed)) {
+        std::fprintf(stderr, "check_runner: unknown adversary mode %s\n",
+                     options.adversary.c_str());
+        Usage();
+        return 2;
+      }
+    } else if (!std::strcmp(arg, "--clock-skew")) {
+      options.clock_skew_ppm = std::strtoll(need_value(i++), nullptr, 10);
     } else if (!std::strcmp(arg, "--no-shrink")) {
       options.shrink = false;
     } else if (!std::strcmp(arg, "--shrink-budget")) {

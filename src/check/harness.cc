@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "check/adversary.h"
 #include "consensus/cluster.h"
 #include "consensus/hotstuff.h"
 #include "consensus/paxos.h"
@@ -48,8 +49,38 @@ uint64_t MixSeed(const RunConfig& cfg) {
   // Mixed only when set so pre-block-pipeline repro seeds keep their
   // exact RNG streams.
   if (cfg.block_max_txns > 0) mix(cfg.block_max_txns);
+  // Same back-compat rule for the adaptive-adversary fields: default
+  // values stay out of the stream so the existing seed corpus replays
+  // byte-identically.
+  if (cfg.adversary != "random") {
+    for (char c : cfg.adversary) mix(static_cast<uint64_t>(c));
+  }
+  if (cfg.clock_skew_ppm != 0) {
+    mix(static_cast<uint64_t>(cfg.clock_skew_ppm));
+  }
   mix(cfg.seed);
   return h;
+}
+
+/// t=0 kClockSkew overlay under the reserved window id 0: even-indexed
+/// nodes run `ppm` fast, odd-indexed run `ppm` slow — the worst relative
+/// drift between any two timers is thus ~2*ppm. Window 0 so the overlay
+/// survives shrinking alongside generated/adaptive windows (ids >= 1).
+NemesisSchedule MakeClockSkewSchedule(const std::vector<sim::NodeId>& nodes,
+                                      int64_t ppm) {
+  std::vector<NemesisEvent> events;
+  if (ppm != 0) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      NemesisEvent ev;
+      ev.at = 0;
+      ev.kind = NemesisKind::kClockSkew;
+      ev.window = 0;
+      ev.node = nodes[i];
+      ev.skew_ppm = (i % 2 == 0) ? ppm : -ppm;
+      events.push_back(ev);
+    }
+  }
+  return NemesisSchedule::FromEvents(std::move(events));
 }
 
 struct World {
@@ -120,10 +151,25 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
   topo.partition_whole_network = true;
   topo.supports_byzantine = bft;
 
-  NemesisSchedule schedule =
-      explicit_schedule
-          ? *explicit_schedule
-          : NemesisSchedule::Generate(profile, topo, horizon, cfg.seed);
+  AdversaryMode adversary = AdversaryMode::kRandom;
+  ParseAdversaryMode(cfg.adversary, &adversary);  // validated in Dispatch
+
+  // The static part of the schedule: the clock-skew overlay always, plus
+  // the generated fault windows in random mode. Adaptive modes inject
+  // their faults live (and record them); an explicit schedule — a shrink
+  // probe or a trace replay — is always replayed statically, with the
+  // adversary disarmed.
+  NemesisSchedule schedule;
+  if (explicit_schedule) {
+    schedule = *explicit_schedule;
+  } else {
+    schedule = MakeClockSkewSchedule(topo.all_nodes, cfg.clock_skew_ppm);
+    if (adversary == AdversaryMode::kRandom) {
+      schedule = NemesisSchedule::Merged(
+          schedule, NemesisSchedule::Generate(profile, topo, horizon,
+                                              cfg.seed));
+    }
+  }
 
   CheckerSuite suite(&w.sim);
   auto chains = [&cluster] {
@@ -167,6 +213,49 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
                    }
                  });
 
+  std::unique_ptr<ReactiveNemesis> reactive;
+  if (!explicit_schedule && adversary != AdversaryMode::kRandom) {
+    ReactiveNemesis::Options opts;
+    opts.mode = adversary;
+    opts.topology = topo;
+    opts.horizon = horizon;
+    opts.seed = cfg.seed;
+    opts.default_latency = World::kDefaultLatency;
+    // Observation: aggregate Status() across live replicas, trusting the
+    // highest view that names a leader (a leader's self-claim wins ties
+    // at its own view). Reads only; cannot perturb the run.
+    auto observer = [&cluster, &w](size_t) {
+      GroupObservation obs;
+      bool found = false;
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        if (w.net.IsCrashed(static_cast<sim::NodeId>(i))) continue;
+        consensus::ReplicaStatus s = cluster.replica(i)->Status();
+        obs.commit_index = std::max(obs.commit_index, s.commit_index);
+        if (!s.knows_leader) continue;
+        bool better = !found || s.view > obs.view ||
+                      (s.view == obs.view && s.is_leader);
+        if (better) {
+          found = true;
+          obs.has_leader = true;
+          obs.leader_index = s.leader_index;
+          obs.has_next_leader = s.knows_next_leader;
+          obs.next_leader_index = s.next_leader_index;
+          obs.view = s.view;
+        }
+      }
+      return obs;
+    };
+    auto flip = [&cluster](size_t, size_t replica_index,
+                           consensus::ByzantineMode mode) {
+      if (replica_index < cluster.size()) {
+        cluster.replica(replica_index)->set_byzantine_mode(mode);
+      }
+    };
+    reactive = std::make_unique<ReactiveNemesis>(
+        std::move(opts), &w.sim, &w.net, observer, flip);
+    reactive->Arm();
+  }
+
   w.net.Start();
   // Pace submissions over the first half of the horizon so fault windows
   // overlap live traffic instead of an already-quiesced system.
@@ -187,6 +276,12 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
   w.sim.Run(w.sim.now() + 5'000'000);  // deterministic straggler drain
   suite.RunFinal();
   result.committed = cluster.MaxCommitted();
+  result.committed_min = cluster.MinCommitted();
+  // Adaptive runs report the faults the adversary actually executed —
+  // the replayable input to shrinking.
+  if (reactive) {
+    schedule = NemesisSchedule::Merged(schedule, reactive->Trace());
+  }
   FillResult(&result, suite, w, std::move(schedule));
   return result;
 }
@@ -275,10 +370,14 @@ RunResult RunShard(const RunConfig& cfg, const NemesisProfile& profile,
   topo.partition_whole_network = false;  // see NemesisTopology docs
   topo.supports_byzantine = false;
 
+  // Clock skew composes with sharded runs (it is per-node, not
+  // per-protocol); adaptive adversary modes do not (rejected in Dispatch).
   NemesisSchedule schedule =
       explicit_schedule
           ? *explicit_schedule
-          : NemesisSchedule::Generate(profile, topo, horizon, cfg.seed);
+          : NemesisSchedule::Merged(
+                MakeClockSkewSchedule(topo.all_nodes, cfg.clock_skew_ppm),
+                NemesisSchedule::Generate(profile, topo, horizon, cfg.seed));
 
   CheckerSuite suite(&w.sim);
   // Replica agreement within each cluster (cross-cluster chains are
@@ -415,6 +514,26 @@ RunResult Dispatch(const RunConfig& cfg,
         {"config", "unknown nemesis profile: " + cfg.nemesis, 0});
     return bad;
   }
+  AdversaryMode adversary = AdversaryMode::kRandom;
+  if (!ParseAdversaryMode(cfg.adversary, &adversary)) {
+    RunResult bad;
+    bad.violations.push_back(
+        {"config", "unknown adversary mode: " + cfg.adversary, 0});
+    return bad;
+  }
+  if (adversary != AdversaryMode::kRandom && IsSharded(cfg.protocol)) {
+    // Adaptive modes partition/crash at the quorum edge of one cluster;
+    // the sharded topologies forbid exactly those arbitrary whole-network
+    // splits (see NemesisTopology::partition_whole_network). Sweep
+    // expansion reduces these cells to "random" instead of erroring.
+    RunResult bad;
+    bad.violations.push_back(
+        {"config",
+         "adversary mode '" + cfg.adversary +
+             "' is not supported for sharded protocols",
+         0});
+    return bad;
+  }
   if (cfg.protocol == "pbft") {
     return RunCluster<consensus::PbftReplica>(cfg, profile, explicit_schedule,
                                               /*bft=*/true);
@@ -458,6 +577,8 @@ std::string RunConfig::ReproLine() const {
      << " --seed-base " << seed;
   if (quorum_slack > 0) os << " --mutate-quorum " << quorum_slack;
   if (block_max_txns > 0) os << " --block-max-txns " << block_max_txns;
+  if (adversary != "random") os << " --adversary " << adversary;
+  if (clock_skew_ppm != 0) os << " --clock-skew " << clock_skew_ppm;
   return os.str();
 }
 
@@ -474,6 +595,10 @@ obs::Json RunConfig::ToJson() const {
   if (block_max_txns > 0) {
     j.Set("block_max_txns", static_cast<uint64_t>(block_max_txns));
   }
+  // Emitted only when non-default, like block_max_txns, so reports from
+  // before the adaptive adversary landed stay byte-comparable.
+  if (adversary != "random") j.Set("adversary", adversary);
+  if (clock_skew_ppm != 0) j.Set("clock_skew_ppm", clock_skew_ppm);
   return j;
 }
 

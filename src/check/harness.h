@@ -41,6 +41,16 @@ struct RunConfig {
   /// > 0 enables the consensus block pipeline (ClusterConfig::block) with
   /// this size cut; 0 keeps the seed's inline-batch path.
   size_t block_max_txns = 0;
+  /// Adversary strategy: "random" replays the pre-generated schedule from
+  /// `nemesis`; "leader" / "quorum" / "churn" run the state-aware
+  /// ReactiveNemesis (see check/adversary.h), which *replaces* the
+  /// generated schedule (the `nemesis` profile is ignored). Consensus
+  /// protocols only; sharded runs reject non-random modes.
+  std::string adversary = "random";
+  /// Per-node clock-skew rate in ppm, alternated ±ppm across nodes (even
+  /// indices run fast, odd run slow); 0 = no skew. Composes with any
+  /// nemesis or adversary mode.
+  int64_t clock_skew_ppm = 0;
 
   /// A command line that replays exactly this run.
   std::string ReproLine() const;
@@ -56,6 +66,12 @@ struct RunResult {
   /// Transactions the most advanced replica committed (consensus) or
   /// client decisions received (sharded).
   uint64_t committed = 0;
+  /// Transactions the LEAST advanced replica committed (consensus runs;
+  /// 0 for sharded). `committed_min < committed` after the drain exposes
+  /// laggards — e.g. PBFT's missing state transfer under leader churn.
+  /// Not serialized into sweep reports (it is derived state, and keeping
+  /// it out preserves historical report byte-compatibility).
+  uint64_t committed_min = 0;
   std::vector<Violation> violations;
   /// Invariant name → number of checker invocations.
   std::map<std::string, uint64_t> coverage;

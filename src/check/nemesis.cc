@@ -2,31 +2,33 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <sstream>
 
 namespace pbc::check {
 
 namespace {
 
-const char* KindName(NemesisKind kind) {
-  switch (kind) {
-    case NemesisKind::kCrash:
-      return "crash";
-    case NemesisKind::kRecover:
-      return "recover";
-    case NemesisKind::kPartition:
-      return "partition";
-    case NemesisKind::kHeal:
-      return "heal";
-    case NemesisKind::kDelay:
-      return "delay";
-    case NemesisKind::kClearDelay:
-      return "clear-delay";
-    case NemesisKind::kByzantine:
-      return "byzantine";
-  }
-  return "?";
-}
+// One row per kind; NemesisKindName/FromName both read this table so the
+// two directions cannot diverge. The static_assert ties the table to
+// kAllNemesisKinds (and thereby to the enum): adding a kind without
+// extending both lists fails the build or the exhaustiveness test.
+struct KindRow {
+  NemesisKind kind;
+  const char* name;
+};
+constexpr KindRow kKindTable[] = {
+    {NemesisKind::kCrash, "crash"},
+    {NemesisKind::kRecover, "recover"},
+    {NemesisKind::kPartition, "partition"},
+    {NemesisKind::kHeal, "heal"},
+    {NemesisKind::kDelay, "delay"},
+    {NemesisKind::kClearDelay, "clear-delay"},
+    {NemesisKind::kByzantine, "byzantine"},
+    {NemesisKind::kClockSkew, "clock-skew"},
+};
+static_assert(std::size(kKindTable) == std::size(kAllNemesisKinds),
+              "kind name table out of sync with kAllNemesisKinds");
 
 const char* ModeName(consensus::ByzantineMode mode) {
   switch (mode) {
@@ -43,6 +45,23 @@ const char* ModeName(consensus::ByzantineMode mode) {
 }
 
 }  // namespace
+
+const char* NemesisKindName(NemesisKind kind) {
+  for (const KindRow& row : kKindTable) {
+    if (row.kind == kind) return row.name;
+  }
+  return "?";
+}
+
+bool NemesisKindFromName(const std::string& name, NemesisKind* out) {
+  for (const KindRow& row : kKindTable) {
+    if (name == row.name) {
+      *out = row.kind;
+      return true;
+    }
+  }
+  return false;
+}
 
 bool NemesisProfile::Parse(const std::string& csv, NemesisProfile* out) {
   *out = NemesisProfile{};
@@ -80,7 +99,7 @@ std::string NemesisProfile::ToString() const {
 
 std::string NemesisEvent::Describe() const {
   std::ostringstream os;
-  os << "t=" << at << "us " << KindName(kind);
+  os << "t=" << at << "us " << NemesisKindName(kind);
   switch (kind) {
     case NemesisKind::kCrash:
     case NemesisKind::kRecover:
@@ -106,6 +125,10 @@ std::string NemesisEvent::Describe() const {
     case NemesisKind::kByzantine:
       os << " replica=" << replica_index << " mode=" << ModeName(mode);
       break;
+    case NemesisKind::kClockSkew:
+      os << " node=" << node << " rate=" << skew_ppm
+         << "ppm offset=" << skew_offset_us << "us";
+      break;
   }
   return os.str();
 }
@@ -113,7 +136,7 @@ std::string NemesisEvent::Describe() const {
 obs::Json NemesisEvent::ToJson() const {
   obs::Json j = obs::Json::Object()
                     .Set("at_us", at)
-                    .Set("kind", KindName(kind))
+                    .Set("kind", NemesisKindName(kind))
                     .Set("window", window);
   switch (kind) {
     case NemesisKind::kCrash:
@@ -144,6 +167,11 @@ obs::Json NemesisEvent::ToJson() const {
     case NemesisKind::kByzantine:
       j.Set("replica_index", static_cast<uint64_t>(replica_index))
           .Set("mode", ModeName(mode));
+      break;
+    case NemesisKind::kClockSkew:
+      j.Set("node", node)
+          .Set("rate_ppm", skew_ppm)
+          .Set("offset_us", skew_offset_us);
       break;
   }
   return j;
@@ -373,10 +401,38 @@ void NemesisSchedule::Apply(
         });
         break;
       case NemesisKind::kByzantine:
-        if (set_byzantine) set_byzantine(ev);
+        if (set_byzantine) {
+          if (ev.at == 0) {
+            set_byzantine(ev);  // start-of-run assignment, pre-Start
+          } else {
+            sim->Schedule(ev.at, [set_byzantine, ev] { set_byzantine(ev); });
+          }
+        }
         break;
+      case NemesisKind::kClockSkew: {
+        sim::ClockSkew skew{ev.skew_ppm, ev.skew_offset_us};
+        if (ev.at == 0) {
+          net->SetClockSkew(ev.node, skew);
+        } else {
+          sim->Schedule(ev.at, [net, node = ev.node, skew] {
+            net->SetClockSkew(node, skew);
+          });
+        }
+        break;
+      }
     }
   }
+}
+
+NemesisSchedule NemesisSchedule::Merged(const NemesisSchedule& a,
+                                        const NemesisSchedule& b) {
+  std::vector<NemesisEvent> events = a.events_;
+  events.insert(events.end(), b.events_.begin(), b.events_.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const NemesisEvent& x, const NemesisEvent& y) {
+                     return x.at < y.at;
+                   });
+  return FromEvents(std::move(events));
 }
 
 obs::Json NemesisSchedule::ToJson() const {

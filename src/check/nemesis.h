@@ -47,8 +47,24 @@ enum class NemesisKind {
   kHeal,
   kDelay,       ///< directional latency override on one link
   kClearDelay,  ///< restore the default latency on that link
-  kByzantine,   ///< set a replica's Byzantine mode (at t=0, before Start)
+  kByzantine,   ///< set a replica's Byzantine mode (t=0 applies pre-Start)
+  kClockSkew,   ///< per-node timer-rate multiplier/offset (sim clock shim)
 };
+
+/// Every kind, in declaration order — the exhaustiveness test round-trips
+/// this list through the name table, Describe() and ToJson(), so adding a
+/// kind without updating serialization fails loudly. Keep in sync with
+/// the enum AND the name table in nemesis.cc (a static_assert there ties
+/// the table to this list).
+inline constexpr NemesisKind kAllNemesisKinds[] = {
+    NemesisKind::kCrash,     NemesisKind::kRecover,  NemesisKind::kPartition,
+    NemesisKind::kHeal,      NemesisKind::kDelay,    NemesisKind::kClearDelay,
+    NemesisKind::kByzantine, NemesisKind::kClockSkew};
+
+/// Stable wire name of a kind ("crash", "clock-skew", ...).
+const char* NemesisKindName(NemesisKind kind);
+/// Inverse of NemesisKindName. Returns false on unknown names.
+bool NemesisKindFromName(const std::string& name, NemesisKind* out);
 
 /// \brief One fault-injection event.
 struct NemesisEvent {
@@ -62,6 +78,8 @@ struct NemesisEvent {
   sim::LinkLatency latency;                        // delay value
   size_t replica_index = 0;                        // byzantine target
   consensus::ByzantineMode mode = consensus::ByzantineMode::kHonest;
+  int64_t skew_ppm = 0;                            // clock-skew rate
+  sim::Time skew_offset_us = 0;                    // clock-skew lag
 
   std::string Describe() const;
   obs::Json ToJson() const;
@@ -116,9 +134,11 @@ class NemesisSchedule {
   NemesisSchedule Filtered(const std::vector<uint64_t>& windows) const;
 
   /// Applies the schedule: network faults are scheduled on `sim` directly;
-  /// kByzantine events are handed to `set_byzantine` immediately (they are
-  /// start-of-run assignments). `default_latency` is what kClearDelay
-  /// restores.
+  /// kByzantine and kClockSkew events with `at == 0` are applied
+  /// immediately (start-of-run assignments, before Network::Start), while
+  /// `at > 0` ones are scheduled like any other fault — adaptive
+  /// adversaries flip modes mid-run and their recorded traces must replay.
+  /// `default_latency` is what kClearDelay restores.
   void Apply(sim::Simulator* sim, sim::Network* net,
              sim::LinkLatency default_latency,
              const std::function<void(const NemesisEvent&)>& set_byzantine)
@@ -129,6 +149,13 @@ class NemesisSchedule {
 
   /// Direct construction for tests and shrinking internals.
   static NemesisSchedule FromEvents(std::vector<NemesisEvent> events);
+
+  /// The union of two schedules, re-sorted by time (stable: `a`'s events
+  /// precede `b`'s at equal timestamps). Window ids must already be
+  /// disjoint — callers keep them so (the clock-skew overlay uses window
+  /// 0; generators and the adaptive adversary allocate from 1).
+  static NemesisSchedule Merged(const NemesisSchedule& a,
+                                const NemesisSchedule& b);
 
  private:
   std::vector<NemesisEvent> events_;  // ordered by `at`

@@ -29,8 +29,15 @@ std::vector<RunConfig> SweepOptions::Expand() const {
     }
   }
   std::vector<RunConfig> cells;
-  std::set<std::string> seen;  // "proto|nemesis|size" dedup after reduction
+  // "proto|adversary|nemesis|size" dedup after reduction.
+  std::set<std::string> seen;
   for (const std::string& proto : protos) {
+    // Sharded topologies cannot host the adaptive modes (they partition
+    // at the quorum edge — exactly the arbitrary splits those topologies
+    // forbid); reduce to the random generator like the byzantine-token
+    // reduction below.
+    const bool sharded = proto == "sharper" || proto == "ahl";
+    std::string adv = sharded ? "random" : adversary;
     for (const std::string& nemesis : nemeses) {
       NemesisProfile profile;
       if (!NemesisProfile::Parse(nemesis, &profile)) continue;
@@ -38,9 +45,13 @@ std::vector<RunConfig> SweepOptions::Expand() const {
         profile.byzantine = false;
       }
       std::string reduced = profile.ToString();
+      // Adaptive modes ignore the generated profile entirely: normalize
+      // it in the cell so {leader × crash} and {leader × delay} do not
+      // masquerade as distinct coverage.
+      if (adv != "random") reduced = "none";
       for (size_t size : cluster_sizes) {
-        std::string key =
-            proto + "|" + reduced + "|" + std::to_string(size);
+        std::string key = proto + "|" + adv + "|" + reduced + "|" +
+                          std::to_string(size);
         if (!seen.insert(key).second) continue;
         RunConfig cfg;
         cfg.protocol = proto;
@@ -50,6 +61,8 @@ std::vector<RunConfig> SweepOptions::Expand() const {
         cfg.txns = txns;
         cfg.quorum_slack = quorum_slack;
         cfg.block_max_txns = block_max_txns;
+        cfg.adversary = adv;
+        cfg.clock_skew_ppm = clock_skew_ppm;
         cells.push_back(std::move(cfg));
       }
     }

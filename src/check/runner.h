@@ -33,6 +33,13 @@ struct SweepOptions {
   /// > 0 runs every cell through the consensus block pipeline with this
   /// size cut (see RunConfig::block_max_txns).
   size_t block_max_txns = 0;
+  /// Adversary mode for every cell ("random" | "leader" | "quorum" |
+  /// "churn"); sharded protocols reduce non-random modes back to
+  /// "random" (see RunConfig::adversary), deduping like the byzantine
+  /// reduction.
+  std::string adversary = "random";
+  /// Per-node clock-skew ppm for every cell (see RunConfig).
+  int64_t clock_skew_ppm = 0;
   /// Shrink each failure's schedule before reporting.
   bool shrink = true;
   /// Max replays ShrinkFailure may spend per failure.

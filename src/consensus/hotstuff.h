@@ -79,6 +79,18 @@ class HotStuffReplica : public Replica {
   const QuorumCert& high_qc() const { return high_qc_; }
   uint64_t timeouts() const { return timeouts_; }
 
+  ReplicaStatus Status() const override {
+    ReplicaStatus status;
+    status.commit_index = last_delivered_seq();
+    status.view = view_;
+    status.is_leader = LeaderOf(view_) == id();
+    status.knows_leader = true;
+    status.leader_index = static_cast<size_t>(view_ % cfg_.n());
+    status.knows_next_leader = true;
+    status.next_leader_index = static_cast<size_t>((view_ + 1) % cfg_.n());
+    return status;
+  }
+
  private:
   void OnStartPoll();
   void HandleProposal(sim::NodeId from, const HsProposal& m);

@@ -84,6 +84,19 @@ class PaxosReplica : public Replica {
   bool IsLeader() const { return leading_; }
   Ballot ballot() const { return my_ballot_; }
 
+  /// Like Raft: only the distinguished proposer self-reports leadership.
+  ReplicaStatus Status() const override {
+    ReplicaStatus status;
+    status.commit_index = last_delivered_seq();
+    status.view = my_ballot_ >> 16;  // ballot round; low bits are the index
+    status.is_leader = leading_;
+    if (leading_) {
+      status.knows_leader = true;
+      status.leader_index = cfg_.IndexOf(id());
+    }
+    return status;
+  }
+
  private:
   // Proposer.
   void TryBecomeLeader();

@@ -104,6 +104,18 @@ class PbftReplica : public Replica {
   uint64_t stable_checkpoint() const { return stable_checkpoint_; }
   uint64_t view_changes() const { return view_changes_; }
 
+  ReplicaStatus Status() const override {
+    ReplicaStatus status;
+    status.commit_index = last_delivered_seq();
+    status.view = view_;
+    status.is_leader = IsPrimary();
+    status.knows_leader = true;
+    status.leader_index = static_cast<size_t>(view_ % cfg_.n());
+    status.knows_next_leader = true;
+    status.next_leader_index = static_cast<size_t>((view_ + 1) % cfg_.n());
+    return status;
+  }
+
  private:
   struct Slot {
     uint64_t view = 0;

@@ -74,6 +74,21 @@ class RaftReplica : public Replica {
   uint64_t commit_index() const { return commit_index_; }
   uint64_t log_size() const { return log_.size(); }
 
+  /// Raft followers do not track the leader's identity (AppendEntries
+  /// carries no leader id here), so only the leader itself reports
+  /// leadership — an observer aggregates across replicas.
+  ReplicaStatus Status() const override {
+    ReplicaStatus status;
+    status.commit_index = commit_index_;
+    status.view = term_;
+    status.is_leader = IsLeader();
+    if (status.is_leader) {
+      status.knows_leader = true;
+      status.leader_index = cfg_.IndexOf(id());
+    }
+    return status;
+  }
+
  private:
   void ResetElectionTimer();
   void OnElectionTimeout();

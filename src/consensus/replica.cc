@@ -240,7 +240,7 @@ void Replica::DrainDeliveries() {
     if (!b.txns.empty()) {
       ledger::Block block = ledger::Block::Make(
           chain_.height(), chain_.TipHash(), b.txns, /*timestamp_us=*/0);
-      Status s = chain_.Append(std::move(block));
+      pbc::Status s = chain_.Append(std::move(block));
       (void)s;  // Append of a self-built block cannot fail.
     }
     if (listener_) listener_(id(), next_deliver_, b);

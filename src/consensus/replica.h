@@ -22,6 +22,25 @@ namespace pbc::consensus {
 using CommitListener =
     std::function<void(sim::NodeId replica, uint64_t seq, const Batch&)>;
 
+/// \brief Uniform leadership/progress snapshot across protocols.
+///
+/// Read-only introspection for observers (the adaptive adversary in
+/// `src/check`, dashboards, tests); never consulted by protocol logic, so
+/// reading it cannot change a run. Protocols with rotating leadership
+/// (pbft, hotstuff, tendermint) always know the proposer for the view
+/// they are in; election-based protocols (raft, paxos) only self-report —
+/// a follower does not track who leads, so only the leader itself sets
+/// `knows_leader`.
+struct ReplicaStatus {
+  bool is_leader = false;          ///< this replica believes it leads now
+  bool knows_leader = false;       ///< leader_index is meaningful
+  size_t leader_index = 0;         ///< leader's index in cfg.replicas
+  bool knows_next_leader = false;  ///< next_leader_index is meaningful
+  size_t next_leader_index = 0;    ///< proposer after one view/round change
+  uint64_t view = 0;               ///< view / round / term / ballot round
+  uint64_t commit_index = 0;       ///< last in-order delivered sequence
+};
+
 /// \brief Block body dissemination: sent by a proposer alongside its
 /// block-ref proposal, and by any replica answering a fetch.
 struct BlockBodyMsg : sim::Message {
@@ -84,6 +103,14 @@ class Replica : public sim::Node {
   ByzantineMode byzantine_mode() const { return byzantine_; }
 
   const ClusterConfig& config() const { return cfg_; }
+
+  /// Leadership/progress snapshot (see ReplicaStatus). The base knows
+  /// only commit progress; protocol subclasses overlay leadership.
+  virtual ReplicaStatus Status() const {
+    ReplicaStatus status;
+    status.commit_index = last_delivered_seq();
+    return status;
+  }
 
  protected:
   /// Hands a decided batch to the delivery pipeline. Sequences start at 1.

@@ -76,6 +76,18 @@ class TendermintReplica : public Replica {
   /// Deterministic stake-proportional rotation shared by all validators.
   size_t ProposerIndexFor(uint64_t height, uint64_t round) const;
 
+  ReplicaStatus Status() const override {
+    ReplicaStatus status;
+    status.commit_index = last_delivered_seq();
+    status.view = round_;
+    status.knows_leader = true;
+    status.leader_index = ProposerIndexFor(height_, round_);
+    status.is_leader = cfg_.replicas[status.leader_index] == id();
+    status.knows_next_leader = true;
+    status.next_leader_index = ProposerIndexFor(height_, round_ + 1);
+    return status;
+  }
+
  private:
   enum class Step { kPropose, kPrevote, kPrecommit };
 

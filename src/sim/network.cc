@@ -17,6 +17,7 @@ void Node::SetTimer(Time delay, std::function<void()> fn) {
   // must not fire after a crash-recover cycle (the node's pre-crash
   // schedule died with it).
   uint64_t epoch = net_->CrashEpoch(id_);
+  delay = net_->SkewedTimerDelay(id_, delay);
   net_->simulator()->Schedule(delay, [net, id, epoch, fn = std::move(fn)] {
     if (net->IsCrashed(id) || net->CrashEpoch(id) != epoch) {
       PBC_OBS_TRACE(net->trace(), net->now(), obs::TraceKind::kTimerCancelled,
@@ -51,6 +52,36 @@ void Network::SetLinkLatency(NodeId a, NodeId b, LinkLatency latency) {
 void Network::SetDirectionalLinkLatency(NodeId from, NodeId to,
                                         LinkLatency latency) {
   link_latency_[(static_cast<uint64_t>(from) << 32) | to] = latency;
+}
+
+void Network::SetClockSkew(NodeId id, ClockSkew skew) {
+  // A clock >= 90% fast would collapse timeouts toward zero and can spin
+  // the simulator; clamp to keep skewed runs terminating.
+  constexpr int64_t kMinRatePpm = -900'000;
+  constexpr int64_t kMaxRatePpm = 9'000'000;
+  if (skew.rate_ppm < kMinRatePpm) skew.rate_ppm = kMinRatePpm;
+  if (skew.rate_ppm > kMaxRatePpm) skew.rate_ppm = kMaxRatePpm;
+  if (skew.rate_ppm == 0 && skew.offset_us == 0) {
+    clock_skew_.erase(id);
+  } else {
+    clock_skew_[id] = skew;
+  }
+}
+
+Time Network::SkewedTimerDelay(NodeId id, Time delay) const {
+  auto it = clock_skew_.find(id);
+  if (it == clock_skew_.end()) return delay;
+  const ClockSkew& skew = it->second;
+  Time scaled = delay;
+  if (skew.rate_ppm != 0) {
+    // A fast clock (positive ppm) reaches the requested duration early:
+    // real delay = requested * 1e6 / (1e6 + ppm).
+    scaled = static_cast<Time>(
+        delay * 1'000'000ULL /
+        static_cast<uint64_t>(1'000'000LL + skew.rate_ppm));
+    if (delay > 0 && scaled == 0) scaled = 1;
+  }
+  return scaled + skew.offset_us;
 }
 
 LinkLatency Network::LatencyFor(NodeId from, NodeId to) const {

@@ -55,6 +55,21 @@ struct LinkLatency {
   Time jitter_us = 200;
 };
 
+/// \brief Per-node clock-rate deviation applied to every timer the node
+/// arms (a "clock shim": the simulator's global clock stays authoritative;
+/// only the node's *perception* of durations is skewed).
+///
+/// A node with `rate_ppm = +100000` has a clock running 10% fast, so a
+/// requested 1 s timeout fires after ~0.909 s of simulated time; a
+/// negative rate runs slow and stretches timeouts. `offset_us` is added on
+/// top of the scaled delay (models a constant scheduling lag). Message
+/// latencies are NOT affected — skew is a property of local timers, which
+/// is exactly where consensus timeout assumptions live.
+struct ClockSkew {
+  int64_t rate_ppm = 0;  ///< parts-per-million deviation; clamped > -900000
+  Time offset_us = 0;    ///< constant additive timer lag
+};
+
 class Network;
 
 /// \brief Base class for simulated nodes (replicas, orderers, clients).
@@ -125,6 +140,25 @@ class Network {
   /// Fraction of messages silently dropped (both directions).
   void SetDropRate(double rate) { drop_rate_ = rate; }
 
+  /// Skews every timer the node arms from now on (already-armed timers
+  /// keep their original deadline). `{0, 0}` removes the skew.
+  void SetClockSkew(NodeId id, ClockSkew skew);
+  ClockSkew clock_skew(NodeId id) const {
+    auto it = clock_skew_.find(id);
+    return it == clock_skew_.end() ? ClockSkew{} : it->second;
+  }
+  /// The simulated-time delay after applying `id`'s clock skew to a
+  /// requested timer delay. Exposed for tests; Node::SetTimer calls it.
+  Time SkewedTimerDelay(NodeId id, Time delay) const;
+
+  /// Effective latency model for one directed link (default, symmetric or
+  /// directional override — whichever wins). Self-links are `{1, 0}`.
+  /// Read-only introspection for adversaries/tests; sending uses the same
+  /// resolution internally.
+  LinkLatency EffectiveLatency(NodeId from, NodeId to) const {
+    return from == to ? LinkLatency{1, 0} : LatencyFor(from, to);
+  }
+
   /// Sends a message; delivery is scheduled per the link's latency model.
   /// Self-sends are delivered with minimal latency.
   void Send(NodeId from, NodeId to, MessagePtr msg);
@@ -191,6 +225,9 @@ class Network {
   LinkLatency default_latency_;
   std::unordered_map<uint64_t, LinkLatency> link_latency_;  // (from<<32)|to
   double drop_rate_ = 0.0;
+  // Ordered map: never iterated today, but keep it address-independent so
+  // a future walk (e.g. a skew dump) cannot introduce nondeterminism.
+  std::map<NodeId, ClockSkew> clock_skew_;
   bool partitioned_ = false;
   std::unordered_map<NodeId, int> partition_;  // node -> group
   // Most recent partition layout, kept across Heal() so deliveries can

@@ -1,0 +1,526 @@
+// Tests for the adaptive adversary layer (src/check/adversary.*), the
+// clock-skew nemesis, and the hardened serialization/corpus plumbing:
+//  * exhaustiveness — every NemesisKind round-trips through the name
+//    table, Describe(), ToJson() and the seeds.txt line parser; every
+//    AdversaryMode round-trips through its name table;
+//  * a fault-budget property over 200 seeded adaptive schedules across
+//    all four adversary modes (max_faulty never exceeded at any instant,
+//    never_crash nodes never targeted, fault-free tail respected);
+//  * determinism — adaptive runs are pure functions of (config, seed)
+//    and their recorded traces replay statically;
+//  * clock-skew semantics (timer scaling, not message latency) and
+//    composition with the adversary;
+//  * the known PBFT no-state-transfer gap, pinned as an expected
+//    liveness gap under sustained leader churn (this test flips red the
+//    day state transfer lands — update it then).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/adversary.h"
+#include "check/harness.h"
+#include "check/nemesis.h"
+#include "seed_corpus.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pbc::check {
+namespace {
+
+// --- Exhaustiveness: NemesisKind ---------------------------------------------
+
+TEST(NemesisKindTest, NameTableRoundTripsEveryKind) {
+  std::set<std::string> names;
+  for (NemesisKind kind : kAllNemesisKinds) {
+    std::string name = NemesisKindName(kind);
+    EXPECT_NE(name, "?") << "kind missing from name table";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    NemesisKind back;
+    ASSERT_TRUE(NemesisKindFromName(name, &back)) << name;
+    EXPECT_EQ(back, kind) << name;
+  }
+  NemesisKind unused;
+  EXPECT_FALSE(NemesisKindFromName("meteor", &unused));
+}
+
+// Builds an event of the given kind with every relevant field populated,
+// so Describe()/ToJson() exercise their kind-specific arms.
+NemesisEvent EventOfKind(NemesisKind kind) {
+  NemesisEvent ev;
+  ev.at = 1'000;
+  ev.kind = kind;
+  ev.window = 3;
+  ev.node = 2;
+  ev.groups = {{0, 1}, {2, 3}};
+  ev.from = 1;
+  ev.to = 2;
+  ev.latency = {20'000, 2'000};
+  ev.replica_index = 1;
+  ev.mode = consensus::ByzantineMode::kEquivocate;
+  ev.skew_ppm = 150'000;
+  ev.skew_offset_us = 250;
+  return ev;
+}
+
+TEST(NemesisKindTest, DescribeAndToJsonCoverEveryKind) {
+  for (NemesisKind kind : kAllNemesisKinds) {
+    NemesisEvent ev = EventOfKind(kind);
+    std::string name = NemesisKindName(kind);
+    EXPECT_NE(ev.Describe().find(name), std::string::npos)
+        << "Describe() of " << name << ": " << ev.Describe();
+    std::string json = ev.ToJson().Dump();
+    EXPECT_NE(json.find("\"kind\""), std::string::npos) << name;
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // The clock-skew arm carries its payload through both serializations.
+  NemesisEvent skew = EventOfKind(NemesisKind::kClockSkew);
+  EXPECT_NE(skew.Describe().find("150000ppm"), std::string::npos);
+  EXPECT_NE(skew.ToJson().Dump().find("rate_ppm"), std::string::npos);
+}
+
+// --- Exhaustiveness: AdversaryMode + corpus parser ---------------------------
+
+TEST(AdversaryModeTest, NameTableRoundTripsEveryMode) {
+  std::set<std::string> names;
+  for (AdversaryMode mode : kAllAdversaryModes) {
+    std::string name = AdversaryModeName(mode);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    AdversaryMode back;
+    ASSERT_TRUE(ParseAdversaryMode(name, &back)) << name;
+    EXPECT_EQ(back, mode) << name;
+  }
+  AdversaryMode unused;
+  EXPECT_FALSE(ParseAdversaryMode("meteor", &unused));
+  EXPECT_FALSE(ParseAdversaryMode("", &unused));
+}
+
+TEST(SeedCorpusParserTest, AcceptsEveryAdversaryModeToken) {
+  for (AdversaryMode mode : kAllAdversaryModes) {
+    RunConfig cfg;
+    std::string error;
+    std::string line =
+        "pbft none 7 adversary=" + std::string(AdversaryModeName(mode));
+    ASSERT_TRUE(ParseSeedCorpusLine(line, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.adversary, AdversaryModeName(mode));
+    EXPECT_EQ(cfg.seed, 7u);
+  }
+}
+
+TEST(SeedCorpusParserTest, ParsesTrailingTokensInAnyOrder) {
+  RunConfig cfg;
+  std::string error;
+  ASSERT_TRUE(ParseSeedCorpusLine("raft none 2 skew=100000 adversary=churn",
+                                  &cfg, &error))
+      << error;
+  EXPECT_EQ(cfg.adversary, "churn");
+  EXPECT_EQ(cfg.clock_skew_ppm, 100'000);
+  RunConfig cfg2;
+  ASSERT_TRUE(ParseSeedCorpusLine("pbft none 2 adversary=leader block=25",
+                                  &cfg2, &error))
+      << error;
+  EXPECT_EQ(cfg2.block_max_txns, 25u);
+  EXPECT_EQ(cfg2.adversary, "leader");
+}
+
+TEST(SeedCorpusParserTest, RejectsMalformedLines) {
+  RunConfig cfg;
+  std::string error;
+  EXPECT_FALSE(ParseSeedCorpusLine("pbft none", &cfg, &error));
+  EXPECT_FALSE(ParseSeedCorpusLine("pbft none 1 meteor=3", &cfg, &error));
+  EXPECT_FALSE(
+      ParseSeedCorpusLine("pbft none 1 adversary=meteor", &cfg, &error));
+  EXPECT_NE(error.find("meteor"), std::string::npos);
+}
+
+// --- Fault-budget property over seeded adaptive schedules --------------------
+
+// Replays a recorded trace's budget accounting: walks events time-ordered,
+// applying fault-ending events before fault-starting ones at equal
+// timestamps (matching the simulator's FIFO order: a recover scheduled
+// long ago fires before this tick's new crash).
+void AssertBudgetRespected(const NemesisSchedule& trace,
+                           const NemesisTopology& topo,
+                           const std::string& label) {
+  const auto& group = topo.groups[0];
+  std::set<sim::NodeId> protected_nodes(topo.never_crash.begin(),
+                                        topo.never_crash.end());
+  uint32_t active = 0;
+  std::map<uint64_t, int> open_crashes;  // window -> balance
+  const std::vector<NemesisEvent>& events = trace.events();
+  for (size_t i = 0; i < events.size();) {
+    size_t j = i;
+    while (j < events.size() && events[j].at == events[i].at) ++j;
+    for (size_t k = i; k < j; ++k) {  // endings first
+      if (events[k].kind == NemesisKind::kRecover) {
+        ASSERT_GT(active, 0u) << label;
+        --active;
+        --open_crashes[events[k].window];
+      }
+    }
+    for (size_t k = i; k < j; ++k) {  // then starts
+      const NemesisEvent& ev = events[k];
+      if (ev.kind == NemesisKind::kCrash) {
+        EXPECT_EQ(protected_nodes.count(ev.node), 0u)
+            << label << ": crashed protected node " << ev.node;
+        ++active;
+        ++open_crashes[ev.window];
+      } else if (ev.kind == NemesisKind::kByzantine) {
+        EXPECT_EQ(protected_nodes.count(ev.node), 0u)
+            << label << ": flipped protected node " << ev.node;
+        ++active;  // Byzantine members hold their budget slot for good
+      }
+      EXPECT_GE(ev.window, 1u) << label << " (0 is the skew overlay)";
+    }
+    EXPECT_LE(active, group.max_faulty)
+        << label << " at t=" << events[i].at;
+    i = j;
+  }
+  for (const auto& [window, balance] : open_crashes) {
+    EXPECT_EQ(balance, 0) << label << ": unpaired crash in window "
+                          << window;
+  }
+}
+
+NemesisTopology AdversaryTopology(bool bft, bool with_protected) {
+  NemesisTopology topo;
+  NemesisTopology::Group group;
+  for (sim::NodeId id = 0; id < 4; ++id) {
+    group.nodes.push_back(id);
+    topo.all_nodes.push_back(id);
+  }
+  group.max_faulty = 1;
+  topo.groups.push_back(std::move(group));
+  topo.partition_whole_network = true;
+  topo.supports_byzantine = bft;
+  if (with_protected) topo.never_crash = {1};
+  return topo;
+}
+
+// Runs one synthetic adaptive schedule: no protocol, just a simulator, a
+// bare network, and an observer that rotates the leader every 2 s — a
+// moving target for the adversary to chase.
+NemesisSchedule SyntheticTrace(AdversaryMode mode, uint64_t seed,
+                               const NemesisTopology& topo,
+                               std::vector<size_t>* flips = nullptr) {
+  constexpr sim::Time kHorizon = 60'000'000;
+  sim::Simulator sim(seed);
+  sim::Network net(&sim);
+  ReactiveNemesis::Options opts;
+  opts.mode = mode;
+  opts.topology = topo;
+  opts.horizon = kHorizon;
+  opts.seed = seed;
+  ReactiveNemesis adversary(
+      opts, &sim, &net,
+      [&sim](size_t) {
+        GroupObservation obs;
+        obs.view = sim.now() / 2'000'000;
+        obs.has_leader = true;
+        obs.leader_index = obs.view % 4;
+        obs.has_next_leader = true;
+        obs.next_leader_index = (obs.view + 1) % 4;
+        return obs;
+      },
+      [flips](size_t, size_t replica_index, consensus::ByzantineMode) {
+        if (flips) flips->push_back(replica_index);
+      });
+  adversary.Arm();
+  sim.Run(kHorizon);
+  // Crash faults drain by the horizon; a permanent Byzantine flip keeps
+  // its budget slot, so the residue is at most the group's f.
+  EXPECT_LE(adversary.active_faults(0), topo.groups[0].max_faulty);
+  return adversary.Trace();
+}
+
+TEST(AdversaryBudgetTest, TwoHundredSchedulesRespectBudgetAndProtection) {
+  constexpr sim::Time kHorizon = 60'000'000;
+  size_t schedules = 0;
+  size_t nonempty = 0;
+  for (AdversaryMode mode : kAllAdversaryModes) {
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+      NemesisTopology topo =
+          AdversaryTopology(/*bft=*/seed % 2 == 0,
+                            /*with_protected=*/seed % 5 == 0);
+      NemesisSchedule trace = SyntheticTrace(mode, seed, topo);
+      ++schedules;
+      std::string label = std::string(AdversaryModeName(mode)) + "/seed=" +
+                          std::to_string(seed);
+      if (mode == AdversaryMode::kRandom) {
+        // kRandom is not reactive: the adaptive layer must stay silent.
+        EXPECT_TRUE(trace.empty()) << label;
+        continue;
+      }
+      if (!trace.empty()) ++nonempty;
+      AssertBudgetRespected(trace, topo, label);
+      for (const NemesisEvent& ev : trace.events()) {
+        switch (ev.kind) {
+          case NemesisKind::kCrash:
+          case NemesisKind::kPartition:
+          case NemesisKind::kDelay:
+          case NemesisKind::kByzantine:
+            EXPECT_LE(ev.at, kHorizon * 55 / 100) << label;
+            break;
+          case NemesisKind::kRecover:
+          case NemesisKind::kHeal:
+          case NemesisKind::kClearDelay:
+            EXPECT_LE(ev.at, kHorizon * 70 / 100) << label;
+            break;
+          case NemesisKind::kClockSkew:
+            ADD_FAILURE() << label << ": adversary emitted clock skew";
+            break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(schedules, 200u);
+  // The three reactive modes must actually attack (150 schedules).
+  EXPECT_GE(nonempty, 140u);
+}
+
+TEST(AdversaryBudgetTest, ChurnRetargetsProtectedLeaderToSuccessor) {
+  NemesisTopology topo = AdversaryTopology(/*bft=*/false,
+                                           /*with_protected=*/true);
+  std::set<sim::NodeId> crashed;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    NemesisSchedule trace = SyntheticTrace(AdversaryMode::kChurn, seed, topo);
+    for (const NemesisEvent& ev : trace.events()) {
+      if (ev.kind == NemesisKind::kCrash) crashed.insert(ev.node);
+    }
+  }
+  EXPECT_EQ(crashed.count(1), 0u) << "protected node crashed";
+  EXPECT_GE(crashed.size(), 2u) << "churn should still chase leadership";
+}
+
+TEST(AdversaryBudgetTest, LeaderModeFlipsOnlyBftGroups) {
+  std::vector<size_t> flips;
+  SyntheticTrace(AdversaryMode::kLeader, 3,
+                 AdversaryTopology(/*bft=*/true, false), &flips);
+  EXPECT_EQ(flips.size(), 1u) << "exactly one permanent Byzantine flip";
+  flips.clear();
+  SyntheticTrace(AdversaryMode::kLeader, 3,
+                 AdversaryTopology(/*bft=*/false, false), &flips);
+  EXPECT_TRUE(flips.empty()) << "CFT groups must never be flipped";
+}
+
+TEST(AdversaryBudgetTest, QuorumModeSplitsAtTheQuorumEdge) {
+  // BFT n=4, f=1: leader side must be f+1 = 2 (both sides short of 2f+1).
+  NemesisSchedule bft_trace = SyntheticTrace(
+      AdversaryMode::kQuorum, 1, AdversaryTopology(/*bft=*/true, false));
+  // CFT n=4, f=1: the leader is stranded in a minority of f = 1.
+  NemesisSchedule cft_trace = SyntheticTrace(
+      AdversaryMode::kQuorum, 1, AdversaryTopology(/*bft=*/false, false));
+  size_t bft_cuts = 0, cft_cuts = 0;
+  for (const NemesisEvent& ev : bft_trace.events()) {
+    if (ev.kind != NemesisKind::kPartition) continue;
+    ASSERT_EQ(ev.groups.size(), 2u);
+    EXPECT_EQ(ev.groups[0].size(), 2u);
+    ++bft_cuts;
+  }
+  for (const NemesisEvent& ev : cft_trace.events()) {
+    if (ev.kind != NemesisKind::kPartition) continue;
+    ASSERT_EQ(ev.groups.size(), 2u);
+    EXPECT_EQ(ev.groups[0].size(), 1u);
+    ++cft_cuts;
+  }
+  EXPECT_GE(bft_cuts, 1u);
+  EXPECT_GE(cft_cuts, 1u);
+}
+
+// --- Determinism of observation ----------------------------------------------
+
+TEST(AdversaryDeterminismTest, SyntheticTraceIsAPureFunctionOfSeed) {
+  NemesisTopology topo = AdversaryTopology(/*bft=*/true, false);
+  for (AdversaryMode mode :
+       {AdversaryMode::kLeader, AdversaryMode::kQuorum, AdversaryMode::kChurn}) {
+    NemesisSchedule a = SyntheticTrace(mode, 11, topo);
+    NemesisSchedule b = SyntheticTrace(mode, 11, topo);
+    EXPECT_EQ(a.Describe(), b.Describe()) << AdversaryModeName(mode);
+  }
+  NemesisSchedule a = SyntheticTrace(AdversaryMode::kChurn, 11, topo);
+  NemesisSchedule c = SyntheticTrace(AdversaryMode::kChurn, 12, topo);
+  EXPECT_NE(a.Describe(), c.Describe()) << "seed must matter";
+}
+
+TEST(AdversaryDeterminismTest, AdaptiveRunIsAPureFunctionOfConfigAndSeed) {
+  RunConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.nemesis = "none";
+  cfg.adversary = "leader";
+  cfg.seed = 2;
+  cfg.txns = 20;
+  RunResult a = RunOne(cfg);
+  RunResult b = RunOne(cfg);
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.committed_min, b.committed_min);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.schedule.Describe(), b.schedule.Describe());
+  EXPECT_FALSE(a.schedule.empty()) << "adversary injected nothing";
+}
+
+// The recorded trace must replay *statically* (adversary disarmed) and
+// still reproduce the violation it found live — the property ddmin
+// shrinking and parallel byte-identity stand on.
+TEST(AdversaryDeterminismTest, RecordedTraceReplaysStatically) {
+  RunConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.nemesis = "none";
+  cfg.adversary = "leader";
+  cfg.seed = 2;
+  cfg.txns = 20;
+  cfg.quorum_slack = 1;  // seeded quorum bug the leader adversary catches
+  RunResult live = RunOne(cfg);
+  ASSERT_FALSE(live.ok()) << "expected the leader adversary to catch the "
+                             "quorum mutation at this seed";
+  RunResult replay = RunWithSchedule(cfg, live.schedule);
+  EXPECT_FALSE(replay.ok()) << "static replay of the trace lost the bug";
+}
+
+TEST(AdversaryDeterminismTest, ShardedProtocolsRejectAdaptiveModes) {
+  RunConfig cfg;
+  cfg.protocol = "sharper";
+  cfg.nemesis = "crash";
+  cfg.adversary = "leader";
+  cfg.txns = 10;
+  RunResult r = RunOne(cfg);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].invariant, std::string("config"));
+  cfg.protocol = "pbft";
+  cfg.adversary = "meteor";
+  RunResult bad = RunOne(cfg);
+  ASSERT_EQ(bad.violations.size(), 1u);
+  EXPECT_EQ(bad.violations[0].invariant, std::string("config"));
+}
+
+// --- Clock skew ---------------------------------------------------------------
+
+TEST(ClockSkewTest, ScalesTimersNotMessages) {
+  sim::Simulator sim(1);
+  sim::Network net(&sim);
+  // +100000 ppm = 10% fast clock: a requested 1 s fires after ~0.909 s.
+  net.SetClockSkew(1, {100'000, 0});
+  EXPECT_EQ(net.SkewedTimerDelay(1, 1'000'000), 909'090u);
+  // -500000 ppm = half speed: 1 s stretches to 2 s.
+  net.SetClockSkew(2, {-500'000, 0});
+  EXPECT_EQ(net.SkewedTimerDelay(2, 1'000'000), 2'000'000u);
+  // Offset adds after scaling; unskewed nodes are identity.
+  net.SetClockSkew(3, {0, 250});
+  EXPECT_EQ(net.SkewedTimerDelay(3, 1'000), 1'250u);
+  EXPECT_EQ(net.SkewedTimerDelay(0, 777u), 777u);
+  // Extreme rates clamp instead of freezing time or going negative.
+  net.SetClockSkew(4, {-2'000'000, 0});
+  EXPECT_EQ(net.clock_skew(4).rate_ppm, -900'000);
+  net.SetClockSkew(5, {100'000'000, 0});
+  EXPECT_EQ(net.clock_skew(5).rate_ppm, 9'000'000);
+  // A fast clock never rounds a positive delay to zero.
+  EXPECT_GE(net.SkewedTimerDelay(5, 1), 1u);
+  // {0,0} removes the entry entirely.
+  net.SetClockSkew(1, {0, 0});
+  EXPECT_EQ(net.clock_skew(1).rate_ppm, 0);
+  // Message latency is untouched by skew.
+  EXPECT_EQ(net.EffectiveLatency(1, 2).base_us,
+            net.EffectiveLatency(0, 3).base_us);
+}
+
+TEST(ClockSkewTest, SkewedRunsAreDeterministicAndDistinct) {
+  RunConfig cfg;
+  cfg.protocol = "raft";
+  cfg.nemesis = "crash";
+  cfg.seed = 0;
+  cfg.txns = 15;
+  RunResult plain = RunOne(cfg);
+  cfg.clock_skew_ppm = 200'000;
+  RunResult skewed = RunOne(cfg);
+  RunResult again = RunOne(cfg);
+  EXPECT_EQ(skewed.sim_events, again.sim_events);
+  EXPECT_EQ(skewed.schedule.Describe(), again.schedule.Describe());
+  EXPECT_NE(plain.sim_events, skewed.sim_events)
+      << "skew must not be a silent no-op";
+  EXPECT_TRUE(skewed.ok());
+  // The overlay is window 0, one event per node, present in the schedule.
+  size_t skew_events = 0;
+  for (const NemesisEvent& ev : skewed.schedule.events()) {
+    if (ev.kind == NemesisKind::kClockSkew) {
+      EXPECT_EQ(ev.window, 0u);
+      EXPECT_EQ(ev.at, 0u);
+      // Even node indices run fast, odd run slow.
+      EXPECT_EQ(ev.skew_ppm, ev.node % 2 == 0 ? 200'000 : -200'000);
+      ++skew_events;
+    }
+  }
+  EXPECT_EQ(skew_events, cfg.cluster_size);
+}
+
+TEST(ClockSkewTest, ComposesWithAdaptiveAdversary) {
+  RunConfig cfg;
+  cfg.protocol = "raft";
+  cfg.nemesis = "none";
+  cfg.adversary = "churn";
+  cfg.clock_skew_ppm = 100'000;
+  cfg.seed = 2;
+  cfg.txns = 20;
+  RunResult r = RunOne(cfg);
+  EXPECT_TRUE(r.ok()) << "corpus line 'raft none 2 adversary=churn "
+                         "skew=100000' regressed";
+  bool has_skew = false, has_crash = false;
+  for (const NemesisEvent& ev : r.schedule.events()) {
+    has_skew |= ev.kind == NemesisKind::kClockSkew;
+    has_crash |= ev.kind == NemesisKind::kCrash;
+  }
+  EXPECT_TRUE(has_skew);
+  EXPECT_TRUE(has_crash);
+  EXPECT_EQ(RunOne(cfg).schedule.Describe(), r.schedule.Describe());
+}
+
+// --- The PBFT state-transfer gap, pinned --------------------------------------
+
+// PBFT in this tree has no state transfer / checkpoint sync: a replica
+// that misses commits while crashed never catches up, so sustained
+// leader churn leaves `committed_min` stranded even when the cluster as
+// a whole stays live. This is a *known, documented* liveness gap (see
+// DESIGN.md §12 and ROADMAP item 5) — the EXPECT_LT below is the pin.
+// When state transfer lands, this test fails: flip it to EXPECT_EQ and
+// retire the gap note.
+TEST(StateTransferGapTest, PbftChurnStrandsLaggardsRaftCatchesUp) {
+  size_t pbft_gaps = 0;
+  bool pbft_live_with_gap = false;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RunConfig cfg;
+    cfg.protocol = "pbft";
+    cfg.nemesis = "none";
+    cfg.adversary = "churn";
+    cfg.seed = seed;
+    cfg.txns = 20;
+    RunResult r = RunOne(cfg);
+    EXPECT_TRUE(r.ok()) << "churn must degrade liveness, never safety";
+    if (r.committed_min < r.committed) ++pbft_gaps;
+    if (r.live && r.committed_min + 5 <= r.committed) {
+      pbft_live_with_gap = true;  // cluster fully live, one replica stuck
+    }
+  }
+  EXPECT_GE(pbft_gaps, 3u) << "PBFT laggard gap vanished — did state "
+                              "transfer land? Update this pin.";
+  EXPECT_TRUE(pbft_live_with_gap);
+
+  // Raft's AppendEntries replays the log to recovered followers: same
+  // adversary, no gap. This is the control that makes the PBFT pin
+  // meaningful (the gap is protocol-specific, not a harness artifact).
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RunConfig cfg;
+    cfg.protocol = "raft";
+    cfg.nemesis = "none";
+    cfg.adversary = "churn";
+    cfg.seed = seed;
+    cfg.txns = 20;
+    RunResult r = RunOne(cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.committed_min, r.committed) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pbc::check

@@ -16,6 +16,7 @@
 #include "check/harness.h"
 #include "check/runner.h"
 #include "obs/metrics.h"
+#include "seed_corpus.h"
 
 namespace pbc::check {
 namespace {
@@ -27,19 +28,10 @@ std::vector<RunConfig> LoadSeedCorpus() {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
     RunConfig cfg;
-    EXPECT_TRUE(static_cast<bool>(fields >> cfg.protocol >> cfg.nemesis >>
-                                  cfg.seed))
-        << "bad corpus line: " << line;
-    std::string token;
-    while (fields >> token) {
-      // Optional trailing "block=<N>": replay through the consensus
-      // block pipeline with size cut N (mirrors check_test's parser).
-      EXPECT_EQ(token.rfind("block=", 0), 0u)
-          << "unknown corpus token '" << token << "' in: " << line;
-      cfg.block_max_txns = std::stoull(token.substr(6));
-    }
+    std::string error;
+    EXPECT_TRUE(ParseSeedCorpusLine(line, &cfg, &error))
+        << error << "\n  corpus line: " << line;
     cfg.txns = 20;
     cells.push_back(std::move(cfg));
   }
@@ -153,6 +145,70 @@ TEST(CheckParallelTest, MutationCanaryShrinksIdenticallyInParallel) {
   ASSERT_FALSE(failure.shrunk_schedule.empty());
   EXPECT_FALSE(RunWithSchedule(failure.config, failure.shrunk_schedule).ok());
   EXPECT_LE(failure.shrunk_windows.size(), 2u);
+}
+
+// --- Adaptive adversary modes under --jobs > 1 -------------------------------
+
+// Adaptive runs record their injected faults as a trace and replay it
+// statically during shrinking, so the whole pipeline — observation,
+// injection, ddmin with first-failure cancellation — must stay
+// byte-identical across --jobs. quorum_slack=1 seeds failures so the
+// parallel shrinker is exercised, not just clean runs; the clock-skew
+// overlay rides along to cover its MixSeed/report plumbing too.
+TEST(CheckParallelTest, AdversaryReportIsByteIdenticalAcrossJobs) {
+  SweepOptions base;
+  base.protocols = {"pbft", "raft", "hotstuff"};
+  base.nemeses = {"none"};
+  base.adversary = "leader";
+  base.seeds = 6;
+  base.txns = 20;
+  base.quorum_slack = 1;
+  std::string golden = SweepDump(base, 1);
+  EXPECT_EQ(golden, SweepDump(base, 4));
+  EXPECT_EQ(golden, SweepDump(base, 8));
+
+  SweepOptions skewed;
+  skewed.protocols = {"raft", "tendermint"};
+  skewed.nemeses = {"crash"};
+  skewed.clock_skew_ppm = 150'000;
+  skewed.seeds = 4;
+  skewed.txns = 15;
+  std::string skew_golden = SweepDump(skewed, 1);
+  EXPECT_EQ(skew_golden, SweepDump(skewed, 8));
+}
+
+// The point of a state-aware adversary: at the same seed budget, chasing
+// the leader finds the seeded quorum bug that random fault schedules
+// miss. Seeds 0-9 at txns=20 are the verified budget — the leader
+// adversary catches the mutation at seed 2 (and 9); the random
+// generator's first catch is crash,partition seed 11, outside it.
+TEST(CheckParallelTest, LeaderAdversaryOuthuntsRandomNemesis) {
+  SweepOptions leader;
+  leader.protocols = {"pbft"};
+  leader.nemeses = {"none"};
+  leader.adversary = "leader";
+  leader.seeds = 10;
+  leader.txns = 20;
+  leader.quorum_slack = 1;
+  leader.jobs = 4;
+  SweepReport hunted = RunSweep(leader);
+  ASSERT_FALSE(hunted.failures.empty())
+      << "leader adversary lost the quorum mutation";
+  // The shrunk repro replays and stays small: the forced leader crash
+  // plus the post-election Byzantine flip.
+  const SweepFailure& failure = hunted.failures.front();
+  ASSERT_FALSE(failure.shrunk_schedule.empty());
+  EXPECT_FALSE(
+      RunWithSchedule(failure.config, failure.shrunk_schedule).ok());
+  EXPECT_LE(failure.shrunk_windows.size(), 2u);
+
+  SweepOptions random = leader;
+  random.adversary = "random";
+  random.nemeses = {"crash,partition", "crash,partition,delay,byzantine"};
+  SweepReport missed = RunSweep(random);
+  EXPECT_TRUE(missed.ok())
+      << "random nemesis caught the bug inside the budget — the canary "
+         "comparison needs a new seed range";
 }
 
 // --- Scheduler observability -------------------------------------------------

@@ -13,6 +13,7 @@
 #include "check/runner.h"
 #include "ledger/block.h"
 #include "ledger/chain.h"
+#include "seed_corpus.h"
 
 namespace pbc::check {
 namespace {
@@ -347,9 +348,9 @@ TEST(MutationCanaryTest, HealthyQuorumPassesSameSweep) {
 
 // --- Seed corpus ------------------------------------------------------------
 
-// tests/seeds.txt: one "<protocol> <nemesis> <seed> [block=<N>]" per
-// line (block=<N> replays through the consensus block pipeline with
-// size cut N). Seeds that once found a bug (or exercised an interesting
+// tests/seeds.txt: one "<protocol> <nemesis> <seed> [block=<N>]
+// [adversary=<mode>] [skew=<ppm>]" per line (see tests/seed_corpus.h for
+// the grammar). Seeds that once found a bug (or exercised an interesting
 // schedule) are committed here and replayed on every CTest run.
 TEST(SeedCorpusTest, ReplaysClean) {
   std::ifstream in(PBC_SEEDS_FILE);
@@ -357,19 +358,17 @@ TEST(SeedCorpusTest, ReplaysClean) {
   std::string line;
   size_t replayed = 0;
   size_t block_mode = 0;
+  size_t adaptive = 0;
+  size_t skewed = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
     RunConfig cfg;
-    ASSERT_TRUE(fields >> cfg.protocol >> cfg.nemesis >> cfg.seed)
-        << "bad corpus line: " << line;
-    std::string token;
-    while (fields >> token) {
-      ASSERT_EQ(token.rfind("block=", 0), 0u)
-          << "unknown corpus token '" << token << "' in: " << line;
-      cfg.block_max_txns = std::stoull(token.substr(6));
-      ++block_mode;
-    }
+    std::string error;
+    ASSERT_TRUE(ParseSeedCorpusLine(line, &cfg, &error))
+        << error << "\n  corpus line: " << line;
+    if (cfg.block_max_txns > 0) ++block_mode;
+    if (cfg.adversary != "random") ++adaptive;
+    if (cfg.clock_skew_ppm != 0) ++skewed;
     cfg.txns = 20;
     RunResult result = RunOne(cfg);
     for (const Violation& v : result.violations) {
@@ -381,6 +380,8 @@ TEST(SeedCorpusTest, ReplaysClean) {
   }
   EXPECT_GE(replayed, 10u) << "corpus unexpectedly small";
   EXPECT_GE(block_mode, 5u) << "block-pipeline corpus coverage too thin";
+  EXPECT_GE(adaptive, 6u) << "adaptive-adversary corpus coverage too thin";
+  EXPECT_GE(skewed, 3u) << "clock-skew corpus coverage too thin";
 }
 
 }  // namespace

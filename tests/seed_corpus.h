@@ -1,0 +1,56 @@
+// Shared parser for tests/seeds.txt corpus lines, used by check_test,
+// check_parallel_test and check_adversary_test so the three suites cannot
+// drift on the line grammar.
+//
+// Grammar (whitespace-separated):
+//   <protocol> <nemesis-profile> <seed> [block=<N>] [adversary=<mode>]
+//                                       [skew=<ppm>]
+// Trailing tokens may appear in any order. `block=<N>` replays through
+// the consensus block pipeline with size cut N; `adversary=<mode>` runs
+// the state-aware adaptive adversary (the profile should be "none" — it
+// is ignored in adaptive modes); `skew=<ppm>` applies the alternating
+// ±ppm per-node clock-skew overlay.
+#ifndef PBC_TESTS_SEED_CORPUS_H_
+#define PBC_TESTS_SEED_CORPUS_H_
+
+#include <sstream>
+#include <string>
+
+#include "check/adversary.h"
+#include "check/harness.h"
+
+namespace pbc::check {
+
+/// Parses one non-comment corpus line into `cfg`. Returns false (with a
+/// reason in `error`) on malformed lines or unknown tokens/modes.
+inline bool ParseSeedCorpusLine(const std::string& line, RunConfig* cfg,
+                                std::string* error) {
+  std::istringstream fields(line);
+  if (!(fields >> cfg->protocol >> cfg->nemesis >> cfg->seed)) {
+    *error = "expected '<protocol> <nemesis> <seed>'";
+    return false;
+  }
+  std::string token;
+  while (fields >> token) {
+    if (token.rfind("block=", 0) == 0) {
+      cfg->block_max_txns = std::stoull(token.substr(6));
+    } else if (token.rfind("adversary=", 0) == 0) {
+      cfg->adversary = token.substr(10);
+      AdversaryMode mode;
+      if (!ParseAdversaryMode(cfg->adversary, &mode)) {
+        *error = "unknown adversary mode '" + cfg->adversary + "'";
+        return false;
+      }
+    } else if (token.rfind("skew=", 0) == 0) {
+      cfg->clock_skew_ppm = std::stoll(token.substr(5));
+    } else {
+      *error = "unknown corpus token '" + token + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pbc::check
+
+#endif  // PBC_TESTS_SEED_CORPUS_H_
