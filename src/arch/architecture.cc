@@ -1,6 +1,7 @@
 #include "arch/architecture.h"
 
 #include "obs/metrics.h"
+#include "store/durable_ledger.h"
 
 namespace pbc::arch {
 
@@ -24,6 +25,7 @@ void Architecture::AppendLedgerBlock(
       chain_.height(), chain_.TipHash(), std::move(effective));
   Status s = chain_.Append(std::move(block));
   (void)s;
+  if (durable_ != nullptr) durable_->Persist(chain_);
 }
 
 void OxArchitecture::ProcessBlock(

@@ -34,6 +34,10 @@ namespace pbc::obs {
 class MetricsRegistry;
 }  // namespace pbc::obs
 
+namespace pbc::store {
+class DurableLedger;
+}  // namespace pbc::store
+
 namespace pbc::arch {
 
 /// \brief Counters accumulated across processed blocks.
@@ -73,6 +77,13 @@ class Architecture {
   /// when `m` is nullptr). Used by the benches' JSON emitters.
   void ExportMetrics(obs::MetricsRegistry* m) const;
 
+  /// Attaches a durable ledger (not owned; may be nullptr to detach):
+  /// every ledger block appended from then on is persisted through it —
+  /// the architecture-level commit path of the durability layer.
+  void AttachDurableLedger(store::DurableLedger* durable) {
+    durable_ = durable;
+  }
+
  protected:
   /// Appends the given transactions as the next ledger block (no-op when
   /// empty, mirroring the consensus layer's skip of empty batches).
@@ -82,6 +93,7 @@ class Architecture {
   store::KvStore store_;
   ledger::Chain chain_;
   ArchStats stats_;
+  store::DurableLedger* durable_ = nullptr;
 };
 
 /// \brief OX: execute every transaction sequentially in block order.

@@ -28,8 +28,9 @@ void Usage() {
       "  --protocol P[,P...]   pbft|raft|hotstuff|tendermint|paxos|sharper"
       "|ahl|all (default all)\n"
       "  --nemesis PROF[;PROF] fault profile(s); each PROF is a CSV of\n"
-      "                        crash,partition,delay,byzantine|none"
-      " (default crash)\n"
+      "                        crash,partition,delay,byzantine,torn-write,\n"
+      "                        lost-flush|none (default crash; torn-write\n"
+      "                        and lost-flush need --durable)\n"
       "  --seeds N             seeds per grid cell (default 20)\n"
       "  --seed-base N         first seed (default 0)\n"
       "  --cluster-size N[,N]  replicas per cluster (default 4)\n"
@@ -44,6 +45,14 @@ void Usage() {
       "                        sharded cells reduce to random)\n"
       "  --clock-skew PPM      per-node clock-rate skew, alternated +/-PPM\n"
       "                        across nodes (0 = off)\n"
+      "  --durable             attach per-replica durable ledgers (block\n"
+      "                        log + snapshots over the sim filesystem)\n"
+      "                        and the crash-recovery invariants; enables\n"
+      "                        the torn-write / lost-flush nemesis tokens\n"
+      "                        (consensus cells; sharded reduce to\n"
+      "                        non-durable)\n"
+      "  --mutate-recovery     TEST-ONLY off-by-one torn-tail truncation\n"
+      "                        in recovery; durable sweeps must catch\n"
       "  --no-shrink           report failures without shrinking\n"
       "  --shrink-budget N     max replays per failure (default 32)\n"
       "  --jobs N              worker threads (default: hardware\n"
@@ -119,6 +128,10 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(arg, "--clock-skew")) {
       options.clock_skew_ppm = std::strtoll(need_value(i++), nullptr, 10);
+    } else if (!std::strcmp(arg, "--durable")) {
+      options.durable = true;
+    } else if (!std::strcmp(arg, "--mutate-recovery")) {
+      options.mutate_recovery = true;
     } else if (!std::strcmp(arg, "--no-shrink")) {
       options.shrink = false;
     } else if (!std::strcmp(arg, "--shrink-budget")) {

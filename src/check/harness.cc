@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "check/adversary.h"
+#include "check/durable.h"
 #include "consensus/cluster.h"
 #include "consensus/hotstuff.h"
 #include "consensus/paxos.h"
@@ -58,6 +59,8 @@ uint64_t MixSeed(const RunConfig& cfg) {
   if (cfg.clock_skew_ppm != 0) {
     mix(static_cast<uint64_t>(cfg.clock_skew_ppm));
   }
+  if (cfg.durable) mix(0x4653);  // "FS"
+  if (cfg.mutate_recovery) mix(0x4D52);  // "MR"
   mix(cfg.seed);
   return h;
 }
@@ -186,12 +189,63 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
         return id >= 1 && id <= max_id;
       }));
   KvModelChecker* kv = suite.Add(std::make_unique<KvModelChecker>());
+
+  // Durable storage: one sim::Fs shared by the cluster (per-node "n<i>/"
+  // directories), a DurableLedger per replica persisting on every commit,
+  // and the three crash-recovery checkers. The Fs seed is derived from the
+  // config mix so the torn-write draws are a pure function of the run.
+  std::unique_ptr<sim::Fs> fs;
+  std::vector<std::unique_ptr<store::DurableLedger>> stores;
+  SyncedCommitDurabilityChecker* synced = nullptr;
+  if (cfg.durable) {
+    fs = std::make_unique<sim::Fs>(MixSeed(cfg) ^ 0x4653ULL);
+    std::vector<DurableTarget> targets;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      store::DurableLedger::Options so;
+      so.dir = "n" + std::to_string(i);
+      so.mutate_recovery = cfg.mutate_recovery;
+      stores.push_back(std::make_unique<store::DurableLedger>(fs.get(), so));
+      DurableTarget target;
+      target.dir = so.dir;
+      target.ledger = stores.back().get();
+      target.chain = [&cluster, i] { return &cluster.replica(i)->chain(); };
+      targets.push_back(std::move(target));
+    }
+    RecoverFn production = ProductionRecovery(cfg.mutate_recovery);
+    suite.Add(std::make_unique<RecoveryEquivalenceChecker>(fs.get(), targets,
+                                                           production));
+    suite.Add(std::make_unique<SnapshotConvergenceChecker>(
+        fs.get(), targets, production,
+        ProductionRecovery(cfg.mutate_recovery, /*use_snapshot=*/false)));
+    synced = suite.Add(std::make_unique<SyncedCommitDurabilityChecker>(
+        fs.get(), targets, production));
+    // Disk faults ride the crash choke point: a crash powers down the
+    // node's directory (applying any armed tear); a recovery runs the
+    // production repair path and reports it to the synced-commit checker.
+    w.net.SetFaultListener([&w, fs = fs.get(), &stores, &cluster, synced](
+                               sim::NodeId id, bool crashed) {
+      size_t i = static_cast<size_t>(id);
+      if (i >= stores.size()) return;
+      std::string prefix = "n" + std::to_string(i) + "/";
+      if (crashed) {
+        fs->Crash(prefix);
+      } else {
+        store::DurableLedger::RecoveryReport report =
+            stores[i]->RecoverAndResync(cluster.replica(i)->chain());
+        synced->ObserveRecovery(i, report, w.sim.now());
+      }
+    });
+  }
+
   for (size_t i = 0; i < cluster.size(); ++i) {
+    store::DurableLedger* dl = cfg.durable ? stores[i].get() : nullptr;
     cluster.replica(i)->set_commit_listener(
-        [kv, i, &w](sim::NodeId, uint64_t, const consensus::Batch& batch) {
+        [kv, i, &w, dl, &cluster](sim::NodeId, uint64_t,
+                                  const consensus::Batch& batch) {
           for (const txn::Transaction& t : batch.txns) {
             kv->OnCommit(i, t, w.sim.now());
           }
+          if (dl != nullptr) dl->Persist(cluster.replica(i)->chain());
         });
   }
   suite.Add(std::make_unique<BalanceConservationChecker>(
@@ -205,13 +259,33 @@ RunResult RunCluster(const RunConfig& cfg, const NemesisProfile& profile,
       },
       int64_t{0}));
 
+  std::function<void(const NemesisEvent&)> on_durable;
+  if (cfg.durable) {
+    on_durable = [fs = fs.get()](const NemesisEvent& ev) {
+      std::string prefix = "n" + std::to_string(ev.node) + "/";
+      switch (ev.kind) {
+        case NemesisKind::kTornWrite:
+          fs->SetPendingTear(prefix, ev.tear_ppm);
+          break;
+        case NemesisKind::kLostFlush:
+          fs->SetLoseFlushes(prefix, true);
+          break;
+        case NemesisKind::kRestoreFlush:
+          fs->SetLoseFlushes(prefix, false);
+          break;
+        default:
+          break;
+      }
+    };
+  }
   schedule.Apply(&w.sim, &w.net, World::kDefaultLatency,
                  [&cluster](const NemesisEvent& ev) {
                    if (ev.replica_index < cluster.size()) {
                      cluster.replica(ev.replica_index)
                          ->set_byzantine_mode(ev.mode);
                    }
-                 });
+                 },
+                 on_durable);
 
   std::unique_ptr<ReactiveNemesis> reactive;
   if (!explicit_schedule && adversary != AdversaryMode::kRandom) {
@@ -521,6 +595,31 @@ RunResult Dispatch(const RunConfig& cfg,
         {"config", "unknown adversary mode: " + cfg.adversary, 0});
     return bad;
   }
+  if ((profile.torn_write || profile.lost_flush) && !cfg.durable) {
+    RunResult bad;
+    bad.violations.push_back(
+        {"config",
+         "nemesis profile '" + cfg.nemesis +
+             "' injects disk faults and requires --durable",
+         0});
+    return bad;
+  }
+  if (cfg.mutate_recovery && !cfg.durable) {
+    RunResult bad;
+    bad.violations.push_back(
+        {"config", "--mutate-recovery requires --durable", 0});
+    return bad;
+  }
+  if (cfg.durable && IsSharded(cfg.protocol)) {
+    // The durable layer persists per-replica consensus chains; the sharded
+    // systems route commits through gateways with their own ledgers, which
+    // this PR does not cover. Sweep expansion reduces these cells to
+    // non-durable instead of erroring.
+    RunResult bad;
+    bad.violations.push_back(
+        {"config", "durable mode is not supported for sharded protocols", 0});
+    return bad;
+  }
   if (adversary != AdversaryMode::kRandom && IsSharded(cfg.protocol)) {
     // Adaptive modes partition/crash at the quorum edge of one cluster;
     // the sharded topologies forbid exactly those arbitrary whole-network
@@ -579,6 +678,8 @@ std::string RunConfig::ReproLine() const {
   if (block_max_txns > 0) os << " --block-max-txns " << block_max_txns;
   if (adversary != "random") os << " --adversary " << adversary;
   if (clock_skew_ppm != 0) os << " --clock-skew " << clock_skew_ppm;
+  if (durable) os << " --durable";
+  if (mutate_recovery) os << " --mutate-recovery";
   return os.str();
 }
 
@@ -599,6 +700,8 @@ obs::Json RunConfig::ToJson() const {
   // before the adaptive adversary landed stay byte-comparable.
   if (adversary != "random") j.Set("adversary", adversary);
   if (clock_skew_ppm != 0) j.Set("clock_skew_ppm", clock_skew_ppm);
+  if (durable) j.Set("durable", true);
+  if (mutate_recovery) j.Set("mutate_recovery", true);
   return j;
 }
 

@@ -51,6 +51,15 @@ struct RunConfig {
   /// indices run fast, odd run slow); 0 = no skew. Composes with any
   /// nemesis or adversary mode.
   int64_t clock_skew_ppm = 0;
+  /// Attach a per-replica durable ledger (block log + snapshots) over a
+  /// deterministic sim::Fs, plus the crash-recovery invariant checkers
+  /// (see check/durable.h). Consensus protocols only; required for the
+  /// torn-write / lost-flush nemesis kinds. Composes with block mode,
+  /// adversaries and clock skew.
+  bool durable = false;
+  /// TEST-ONLY mutation: off-by-one torn-tail truncation in recovery (see
+  /// BlockLog::RecoverAndTruncate). The durable sweeps must catch it.
+  bool mutate_recovery = false;
 
   /// A command line that replays exactly this run.
   std::string ReproLine() const;

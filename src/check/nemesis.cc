@@ -26,6 +26,9 @@ constexpr KindRow kKindTable[] = {
     {NemesisKind::kClearDelay, "clear-delay"},
     {NemesisKind::kByzantine, "byzantine"},
     {NemesisKind::kClockSkew, "clock-skew"},
+    {NemesisKind::kTornWrite, "torn-write"},
+    {NemesisKind::kLostFlush, "lost-flush"},
+    {NemesisKind::kRestoreFlush, "restore-flush"},
 };
 static_assert(std::size(kKindTable) == std::size(kAllNemesisKinds),
               "kind name table out of sync with kAllNemesisKinds");
@@ -77,6 +80,10 @@ bool NemesisProfile::Parse(const std::string& csv, NemesisProfile* out) {
       out->delay = true;
     } else if (token == "byzantine") {
       out->byzantine = true;
+    } else if (token == "torn-write") {
+      out->torn_write = true;
+    } else if (token == "lost-flush") {
+      out->lost_flush = true;
     } else {
       return false;
     }
@@ -94,6 +101,8 @@ std::string NemesisProfile::ToString() const {
   if (partition) add("partition");
   if (delay) add("delay");
   if (byzantine) add("byzantine");
+  if (torn_write) add("torn-write");
+  if (lost_flush) add("lost-flush");
   return s.empty() ? "none" : s;
 }
 
@@ -128,6 +137,13 @@ std::string NemesisEvent::Describe() const {
     case NemesisKind::kClockSkew:
       os << " node=" << node << " rate=" << skew_ppm
          << "ppm offset=" << skew_offset_us << "us";
+      break;
+    case NemesisKind::kTornWrite:
+      os << " node=" << node << " tear=" << tear_ppm << "ppm";
+      break;
+    case NemesisKind::kLostFlush:
+    case NemesisKind::kRestoreFlush:
+      os << " node=" << node;
       break;
   }
   return os.str();
@@ -172,6 +188,13 @@ obs::Json NemesisEvent::ToJson() const {
       j.Set("node", node)
           .Set("rate_ppm", skew_ppm)
           .Set("offset_us", skew_offset_us);
+      break;
+    case NemesisKind::kTornWrite:
+      j.Set("node", node).Set("tear_ppm", tear_ppm);
+      break;
+    case NemesisKind::kLostFlush:
+    case NemesisKind::kRestoreFlush:
+      j.Set("node", node);
       break;
   }
   return j;
@@ -229,7 +252,12 @@ NemesisSchedule NemesisSchedule::Generate(const NemesisProfile& profile,
 
   // Crash windows: per cluster, sequential (never more than one of a
   // cluster's nodes down at once — conservative within every f ≥ 1).
-  if (profile.crash) {
+  // torn-write shares this budget loop: a torn write IS a crash whose
+  // power cut leaks a partial disk flush, so it counts against the same
+  // f. RNG back-compat: when profile.torn_write is false the torn branch
+  // consumes zero draws, so pre-durable corpus seeds keep their exact
+  // streams.
+  if (profile.crash || profile.torn_write) {
     for (size_t g = 0; g < topology.groups.size(); ++g) {
       const auto& group = topology.groups[g];
       uint32_t budget = group.max_faulty;
@@ -246,13 +274,22 @@ NemesisSchedule NemesisSchedule::Generate(const NemesisProfile& profile,
         auto [t1, t2] = window_times(cursor);
         if (t1 >= t2) break;
         sim::NodeId victim = eligible[rng.NextU64(eligible.size())];
+        bool torn =
+            profile.torn_write && (!profile.crash || rng.NextU64(2) == 0);
         uint64_t window = next_window++;
-        events.push_back(
-            {t1, NemesisKind::kCrash, window, victim, {}, 0, 0, {}, 0,
-             consensus::ByzantineMode::kHonest});
-        events.push_back(
-            {t2, NemesisKind::kRecover, window, victim, {}, 0, 0, {}, 0,
-             consensus::ByzantineMode::kHonest});
+        NemesisEvent down;
+        down.at = t1;
+        down.kind = torn ? NemesisKind::kTornWrite : NemesisKind::kCrash;
+        down.window = window;
+        down.node = victim;
+        if (torn) down.tear_ppm = 300'000 + rng.NextU64(700'001);
+        events.push_back(down);
+        NemesisEvent up;
+        up.at = t2;
+        up.kind = NemesisKind::kRecover;
+        up.window = window;
+        up.node = victim;
+        events.push_back(up);
         cursor = t2 + horizon / 100;
       }
     }
@@ -341,6 +378,33 @@ NemesisSchedule NemesisSchedule::Generate(const NemesisProfile& profile,
     }
   }
 
+  // Lost-flush windows: a lying disk acknowledges fsyncs but drops them
+  // for one node. Harmless to protocol traffic — only durable runs react
+  // (the harness rejects the profile token otherwise). Zero draws when
+  // the profile bit is off.
+  if (profile.lost_flush && !topology.all_nodes.empty()) {
+    size_t count = 1 + rng.NextU64(2);  // 1..2 windows
+    sim::Time cursor = 0;
+    for (size_t w = 0; w < count && cursor < start_max; ++w) {
+      auto [t1, t2] = window_times(cursor);
+      if (t1 >= t2) break;
+      sim::NodeId victim =
+          topology.all_nodes[rng.NextU64(topology.all_nodes.size())];
+      uint64_t window = next_window++;
+      NemesisEvent lose;
+      lose.at = t1;
+      lose.kind = NemesisKind::kLostFlush;
+      lose.window = window;
+      lose.node = victim;
+      events.push_back(lose);
+      NemesisEvent restore = lose;
+      restore.at = t2;
+      restore.kind = NemesisKind::kRestoreFlush;
+      events.push_back(restore);
+      cursor = t2 + horizon / 100;
+    }
+  }
+
   std::stable_sort(events.begin(), events.end(),
                    [](const NemesisEvent& a, const NemesisEvent& b) {
                      return a.at < b.at;
@@ -372,7 +436,8 @@ NemesisSchedule NemesisSchedule::Filtered(
 
 void NemesisSchedule::Apply(
     sim::Simulator* sim, sim::Network* net, sim::LinkLatency default_latency,
-    const std::function<void(const NemesisEvent&)>& set_byzantine) const {
+    const std::function<void(const NemesisEvent&)>& set_byzantine,
+    const std::function<void(const NemesisEvent&)>& on_durable) const {
   for (const NemesisEvent& ev : events_) {
     switch (ev.kind) {
       case NemesisKind::kCrash:
@@ -420,6 +485,20 @@ void NemesisSchedule::Apply(
         }
         break;
       }
+      case NemesisKind::kTornWrite:
+        // Arm the filesystem tear, then cut power, in one sim event: the
+        // crash must see the pending tear, and nothing may run between.
+        sim->Schedule(ev.at, [net, on_durable, ev] {
+          if (on_durable) on_durable(ev);
+          net->Crash(ev.node);
+        });
+        break;
+      case NemesisKind::kLostFlush:
+      case NemesisKind::kRestoreFlush:
+        if (on_durable) {
+          sim->Schedule(ev.at, [on_durable, ev] { on_durable(ev); });
+        }
+        break;
     }
   }
 }

@@ -33,9 +33,13 @@ struct NemesisProfile {
   bool partition = false;  ///< network split + later heal
   bool delay = false;      ///< asymmetric link slowdown windows
   bool byzantine = false;  ///< one Byzantine replica (BFT protocols only)
+  bool torn_write = false;  ///< crash with a torn disk write (durable only)
+  bool lost_flush = false;  ///< lying-disk window: fsyncs ack'd, dropped
 
-  /// Parses "crash,partition,delay,byzantine" (any subset, any order);
-  /// "none" or "" yields an empty profile. Unknown tokens fail.
+  /// Parses "crash,partition,delay,byzantine,torn-write,lost-flush" (any
+  /// subset, any order); "none" or "" yields an empty profile. Unknown
+  /// tokens fail. torn-write / lost-flush require a durable run — the
+  /// harness rejects them without `RunConfig::durable`.
   static bool Parse(const std::string& csv, NemesisProfile* out);
   std::string ToString() const;
 };
@@ -49,6 +53,9 @@ enum class NemesisKind {
   kClearDelay,  ///< restore the default latency on that link
   kByzantine,   ///< set a replica's Byzantine mode (t=0 applies pre-Start)
   kClockSkew,   ///< per-node timer-rate multiplier/offset (sim clock shim)
+  kTornWrite,   ///< crash whose power cut tears the node's unsynced bytes
+  kLostFlush,   ///< start a lying-disk window: fsyncs ack'd but dropped
+  kRestoreFlush,  ///< end the lying-disk window (fsyncs honest again)
 };
 
 /// Every kind, in declaration order — the exhaustiveness test round-trips
@@ -59,7 +66,9 @@ enum class NemesisKind {
 inline constexpr NemesisKind kAllNemesisKinds[] = {
     NemesisKind::kCrash,     NemesisKind::kRecover,  NemesisKind::kPartition,
     NemesisKind::kHeal,      NemesisKind::kDelay,    NemesisKind::kClearDelay,
-    NemesisKind::kByzantine, NemesisKind::kClockSkew};
+    NemesisKind::kByzantine, NemesisKind::kClockSkew,
+    NemesisKind::kTornWrite, NemesisKind::kLostFlush,
+    NemesisKind::kRestoreFlush};
 
 /// Stable wire name of a kind ("crash", "clock-skew", ...).
 const char* NemesisKindName(NemesisKind kind);
@@ -80,6 +89,7 @@ struct NemesisEvent {
   consensus::ByzantineMode mode = consensus::ByzantineMode::kHonest;
   int64_t skew_ppm = 0;                            // clock-skew rate
   sim::Time skew_offset_us = 0;                    // clock-skew lag
+  uint64_t tear_ppm = 0;                           // torn-write leak bound
 
   std::string Describe() const;
   obs::Json ToJson() const;
@@ -139,10 +149,18 @@ class NemesisSchedule {
   /// `at > 0` ones are scheduled like any other fault — adaptive
   /// adversaries flip modes mid-run and their recorded traces must replay.
   /// `default_latency` is what kClearDelay restores.
+  ///
+  /// `on_durable` (optional) receives the durable-storage fault events:
+  /// kTornWrite (arm the filesystem tear — invoked in the same scheduled
+  /// lambda immediately before the Crash(), so the power cut sees the
+  /// pending tear) and kLostFlush / kRestoreFlush (toggle the lying-disk
+  /// window). Null is fine for non-durable runs; the kinds then degrade
+  /// to a plain crash / no-op respectively.
   void Apply(sim::Simulator* sim, sim::Network* net,
              sim::LinkLatency default_latency,
-             const std::function<void(const NemesisEvent&)>& set_byzantine)
-      const;
+             const std::function<void(const NemesisEvent&)>& set_byzantine,
+             const std::function<void(const NemesisEvent&)>& on_durable =
+                 nullptr) const;
 
   obs::Json ToJson() const;
   std::string Describe() const;

@@ -38,11 +38,21 @@ std::vector<RunConfig> SweepOptions::Expand() const {
     // reduction below.
     const bool sharded = proto == "sharper" || proto == "ahl";
     std::string adv = sharded ? "random" : adversary;
+    // The durable layer wraps per-replica consensus chains; sharded cells
+    // reduce to non-durable (and shed the disk-fault tokens below).
+    const bool dur = sharded ? false : durable;
     for (const std::string& nemesis : nemeses) {
       NemesisProfile profile;
       if (!NemesisProfile::Parse(nemesis, &profile)) continue;
       if (profile.byzantine && !SupportsByzantine(proto)) {
         profile.byzantine = false;
+      }
+      if (!dur) {
+        // Disk faults need a disk: without the durable layer the tokens
+        // would be rejected by the harness, so strip them like the
+        // byzantine reduction.
+        profile.torn_write = false;
+        profile.lost_flush = false;
       }
       std::string reduced = profile.ToString();
       // Adaptive modes ignore the generated profile entirely: normalize
@@ -51,7 +61,7 @@ std::vector<RunConfig> SweepOptions::Expand() const {
       if (adv != "random") reduced = "none";
       for (size_t size : cluster_sizes) {
         std::string key = proto + "|" + adv + "|" + reduced + "|" +
-                          std::to_string(size);
+                          std::to_string(size) + (dur ? "|durable" : "");
         if (!seen.insert(key).second) continue;
         RunConfig cfg;
         cfg.protocol = proto;
@@ -63,6 +73,8 @@ std::vector<RunConfig> SweepOptions::Expand() const {
         cfg.block_max_txns = block_max_txns;
         cfg.adversary = adv;
         cfg.clock_skew_ppm = clock_skew_ppm;
+        cfg.durable = dur;
+        cfg.mutate_recovery = dur && mutate_recovery;
         cells.push_back(std::move(cfg));
       }
     }

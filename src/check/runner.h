@@ -40,6 +40,14 @@ struct SweepOptions {
   std::string adversary = "random";
   /// Per-node clock-skew ppm for every cell (see RunConfig).
   int64_t clock_skew_ppm = 0;
+  /// Run every cell with the durable storage layer attached (see
+  /// RunConfig::durable); sharded protocols reduce back to non-durable
+  /// (with disk-fault nemesis tokens stripped), deduping like the
+  /// byzantine reduction.
+  bool durable = false;
+  /// TEST-ONLY recovery mutation, forwarded to durable cells (see
+  /// RunConfig::mutate_recovery).
+  bool mutate_recovery = false;
   /// Shrink each failure's schedule before reporting.
   bool shrink = true;
   /// Max replays ShrinkFailure may spend per failure.

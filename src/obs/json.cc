@@ -157,6 +157,9 @@ std::string Json::Dump() const {
 }
 
 bool Json::WriteFile(const std::string& path) const {
+  // detlint:allow(raw-filesystem) report/metrics emission to the host —
+  // operator output, never durable simulation state; sim::Fs holds the
+  // latter
   std::ofstream f(path);
   if (!f) return false;
   Write(f);

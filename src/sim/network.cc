@@ -121,6 +121,7 @@ void Network::Crash(NodeId id) {
     PBC_OBS_COUNT(metrics_, "net.crashes", 1);
     PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kCrash, id, id, "",
                   crash_epoch_[id]);
+    if (fault_listener_) fault_listener_(id, /*crashed=*/true);
   }
 }
 
@@ -129,6 +130,7 @@ void Network::Recover(NodeId id) {
     PBC_OBS_COUNT(metrics_, "net.recoveries", 1);
     PBC_OBS_TRACE(trace_, now(), obs::TraceKind::kRecover, id, id, "",
                   CrashEpoch(id));
+    if (fault_listener_) fault_listener_(id, /*crashed=*/false);
   }
 }
 

@@ -20,6 +20,7 @@
 #define PBC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -174,6 +175,18 @@ class Network {
   void Recover(NodeId id);
   bool IsCrashed(NodeId id) const { return crashed_.count(id) > 0; }
 
+  /// Observer fired on every crash-state *transition* (crashed=true from
+  /// Crash(), false from Recover()), after the network's own bookkeeping.
+  /// This is the single choke point through which process faults reach
+  /// co-located state — the durable-storage harness uses it to power-fail
+  /// a node's sim::Fs files and to run crash recovery on Recover(), so
+  /// adversary-injected crashes (which bypass the nemesis schedule's
+  /// Apply) hit the disk exactly like scheduled ones.
+  using FaultListener = std::function<void(NodeId, bool crashed)>;
+  void SetFaultListener(FaultListener listener) {
+    fault_listener_ = std::move(listener);
+  }
+
   /// Number of times the node has crashed; timers armed in an older epoch
   /// never fire.
   uint64_t CrashEpoch(NodeId id) const {
@@ -233,6 +246,7 @@ class Network {
   // Most recent partition layout, kept across Heal() so deliveries can
   // tell whether a cut happened while they were in flight.
   std::unordered_map<NodeId, int> last_partition_;
+  FaultListener fault_listener_;
   uint64_t partition_cuts_ = 0;  // incremented by every Partition() call
   NetworkStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,53 @@
+// Deterministic binary codecs for the durable storage layer: block
+// payloads, CRC-framed log records, and the canonical serialization of a
+// KvStore's latest state. All integers are little-endian fixed-width, so
+// encoded bytes are identical across platforms and runs — the byte
+// strings themselves are what the recovery invariants compare.
+#ifndef PBC_STORE_CODEC_H_
+#define PBC_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ledger/block.h"
+#include "store/kv_store.h"
+
+namespace pbc::store {
+
+/// CRC-32 (IEEE 802.3 polynomial, table-driven) over `bytes`. Used as the
+/// per-frame integrity check in the block log and snapshot files.
+uint32_t Crc32(const std::string& bytes);
+
+// Little-endian primitive append / cursor-based extract.
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, const std::string& s);  // u32 len + bytes
+
+/// Cursor over an encoded buffer; all Get* return false on underrun and
+/// leave the cursor unspecified (decoding must then be abandoned).
+struct Decoder {
+  const std::string* data;
+  size_t pos = 0;
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetString(std::string* s);
+  size_t remaining() const { return data->size() - pos; }
+};
+
+/// Full block payload: header fields + every transaction's program.
+std::string EncodeBlock(const ledger::Block& block);
+
+/// Inverse of EncodeBlock. Returns false on malformed input or when the
+/// decoded header's Merkle root does not match the transactions.
+bool DecodeBlock(const std::string& payload, ledger::Block* out);
+
+/// Canonical serialization of the latest state: (key, value, version)
+/// triples in key order plus the last committed version. Two stores with
+/// equal serializations are indistinguishable to any reader of latest
+/// state — this string is the "byte-equals" in the recovery invariants.
+std::string SerializeLatestState(const KvStore& kv);
+
+}  // namespace pbc::store
+
+#endif  // PBC_STORE_CODEC_H_

@@ -1,0 +1,125 @@
+#include "store/durable_ledger.h"
+
+#include "store/codec.h"
+#include "store/snapshot.h"
+#include "txn/transaction.h"
+
+namespace pbc::store {
+
+namespace {
+
+std::string LogPath(const std::string& dir) { return dir + "/blocks.log"; }
+
+// The canonical transaction-application idiom (identical to the KV model
+// checker's ApplyToModel), so durable state and model state are
+// byte-comparable: versions advance only when a txn produced writes.
+void ApplyTxn(const txn::Transaction& txn, KvStore* kv,
+              uint64_t* next_version) {
+  txn::ExecResult result = txn::Execute(txn, txn::LatestReader(kv));
+  if (!result.writes.empty()) {
+    kv->ApplyBatch(result.writes, (*next_version)++);
+  }
+}
+
+}  // namespace
+
+DurableLedger::DurableLedger(sim::Fs* fs, Options opts)
+    : fs_(fs), opts_(std::move(opts)), log_(fs, LogPath(opts_.dir)) {}
+
+void DurableLedger::ApplyBlockToState(const ledger::Block& block) {
+  for (const txn::Transaction& t : block.txns) {
+    ApplyTxn(t, &kv_, &next_version_);
+  }
+  ++kv_height_;
+}
+
+void DurableLedger::Persist(const ledger::Chain& chain) {
+  if (chain.height() <= durable_height_) return;
+  for (uint64_t h = durable_height_; h < chain.height(); ++h) {
+    log_.Append(chain.at(h));
+    if (h >= kv_height_) ApplyBlockToState(chain.at(h));
+  }
+  log_.Sync();  // the commit barrier: blocks count as durable only now
+  durable_height_ = chain.height();
+  MaybeSnapshot();
+}
+
+void DurableLedger::MaybeSnapshot() {
+  if (opts_.snapshot_interval == 0) return;
+  if (durable_height_ < last_snapshot_height_ + opts_.snapshot_interval) {
+    return;
+  }
+  // kv_ is exactly the state after block durable_height_-1 here: Persist
+  // applies blocks and advances durable_height_ in lockstep.
+  WriteSnapshot(fs_, opts_.dir,
+                CaptureSnapshot(kv_, durable_height_, next_version_));
+  last_snapshot_height_ = durable_height_;
+}
+
+DurableLedger::Recovered DurableLedger::RecoverFromImage(
+    const sim::FsImage& image, const std::string& dir,
+    bool mutate_off_by_one, bool use_snapshot) {
+  Recovered rec;
+  std::string data;
+  auto log_it = image.find(LogPath(dir));
+  if (log_it != image.end()) data = log_it->second;
+
+  LogScan scan = ScanLog(data);
+  if (mutate_off_by_one && scan.torn && scan.valid_bytes > 0) {
+    // Mirror of BlockLog::RecoverAndTruncate's canary bug, as a pure
+    // function: cut one byte into the last valid frame and rescan.
+    scan = ScanLog(data.substr(0, scan.valid_bytes - 1));
+  }
+  rec.blocks = std::move(scan.blocks);
+  rec.height = rec.blocks.size();
+
+  KvStore kv;
+  uint64_t replay_from = 0;
+  if (use_snapshot) {
+    std::vector<uint64_t> heights;
+    auto man_it = image.find(ManifestPath(dir));
+    if (man_it != image.end()) DecodeManifest(man_it->second, &heights);
+    for (uint64_t h : heights) {  // newest first; fall back down the list
+      if (h > rec.height) continue;  // snapshot ahead of the log prefix
+      auto snap_it = image.find(SnapshotPath(dir, h));
+      if (snap_it == image.end()) continue;
+      SnapshotData snap;
+      if (!DecodeSnapshot(snap_it->second, &snap)) continue;  // CRC-invalid
+      RebuildFromSnapshot(snap, &kv);
+      rec.next_version = snap.next_version;
+      rec.used_snapshot = true;
+      rec.snapshot_height = h;
+      replay_from = h;
+      break;
+    }
+  }
+  for (uint64_t h = replay_from; h < rec.height; ++h) {
+    for (const txn::Transaction& t : rec.blocks[h].txns) {
+      ApplyTxn(t, &kv, &rec.next_version);
+    }
+  }
+  rec.state = SerializeLatestState(kv);
+  return rec;
+}
+
+DurableLedger::RecoveryReport DurableLedger::RecoverAndResync(
+    const ledger::Chain& chain) {
+  RecoveryReport report;
+  std::string data;
+  fs_->Read(log_.path(), &data);
+  report.valid_frames = ScanLog(data).blocks.size();
+
+  LogScan kept = log_.RecoverAndTruncate(opts_.mutate_recovery);
+  report.recovered_height = kept.blocks.size();
+  durable_height_ = kept.blocks.size();
+
+  // The replica's in-memory chain stands in for state transfer: re-append
+  // what the crash (or the mutated truncation) lost and restore the
+  // barrier. kv_ tracks the chain, not the log, so it needs no rewind.
+  report.resynced_blocks =
+      chain.height() > durable_height_ ? chain.height() - durable_height_ : 0;
+  Persist(chain);
+  return report;
+}
+
+}  // namespace pbc::store

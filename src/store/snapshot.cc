@@ -1,0 +1,140 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <map>
+
+#include "store/block_log.h"
+#include "store/codec.h"
+
+namespace pbc::store {
+
+SnapshotData CaptureSnapshot(const KvStore& kv, uint64_t height,
+                             uint64_t next_version) {
+  SnapshotData snap;
+  snap.height = height;
+  snap.next_version = next_version;
+  snap.last_committed = kv.last_committed();
+  kv.ForEachLatest([&](const Key& key, const VersionedValue& vv) {
+    snap.entries.push_back({key, vv.value, vv.version});
+  });
+  return snap;
+}
+
+std::string EncodeSnapshot(const SnapshotData& snap) {
+  std::string payload;
+  PutU64(&payload, snap.height);
+  PutU64(&payload, snap.next_version);
+  PutU64(&payload, snap.last_committed);
+  PutU64(&payload, snap.entries.size());
+  for (const SnapshotData::Entry& e : snap.entries) {
+    PutString(&payload, e.key);
+    PutString(&payload, e.value);
+    PutU64(&payload, e.version);
+  }
+  return EncodeFrame(payload);
+}
+
+bool DecodeSnapshot(const std::string& file_content, SnapshotData* out) {
+  Decoder frame{&file_content};
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!frame.GetU32(&len) || !frame.GetU32(&crc)) return false;
+  if (frame.remaining() != len) return false;
+  std::string payload(file_content, frame.pos, len);
+  if (Crc32(payload) != crc) return false;
+
+  Decoder dec{&payload};
+  SnapshotData snap;
+  uint64_t count = 0;
+  if (!dec.GetU64(&snap.height) || !dec.GetU64(&snap.next_version) ||
+      !dec.GetU64(&snap.last_committed) || !dec.GetU64(&count)) {
+    return false;
+  }
+  snap.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SnapshotData::Entry e;
+    if (!dec.GetString(&e.key) || !dec.GetString(&e.value) ||
+        !dec.GetU64(&e.version)) {
+      return false;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  if (dec.remaining() != 0) return false;
+  *out = std::move(snap);
+  return true;
+}
+
+void RebuildFromSnapshot(const SnapshotData& snap, KvStore* kv) {
+  // ApplyBatch requires strictly increasing versions, so group the latest
+  // entries by the version that wrote them and replay groups in order.
+  std::map<uint64_t, WriteBatch> by_version;
+  for (const SnapshotData::Entry& e : snap.entries) {
+    by_version[e.version].Put(e.key, e.value);
+  }
+  for (auto& [version, batch] : by_version) {
+    kv->ApplyBatch(batch, version);
+  }
+}
+
+std::string EncodeManifest(const std::vector<uint64_t>& heights) {
+  std::string payload;
+  PutU64(&payload, heights.size());
+  for (uint64_t h : heights) PutU64(&payload, h);
+  return EncodeFrame(payload);
+}
+
+bool DecodeManifest(const std::string& file_content,
+                    std::vector<uint64_t>* heights) {
+  Decoder frame{&file_content};
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!frame.GetU32(&len) || !frame.GetU32(&crc)) return false;
+  if (frame.remaining() != len) return false;
+  std::string payload(file_content, frame.pos, len);
+  if (Crc32(payload) != crc) return false;
+
+  Decoder dec{&payload};
+  uint64_t count = 0;
+  if (!dec.GetU64(&count)) return false;
+  heights->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t h = 0;
+    if (!dec.GetU64(&h)) return false;
+    heights->push_back(h);
+  }
+  return dec.remaining() == 0;
+}
+
+std::string SnapshotPath(const std::string& dir, uint64_t height) {
+  return dir + "/snap-" + std::to_string(height);
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+void WriteSnapshot(sim::Fs* fs, const std::string& dir,
+                   const SnapshotData& snap) {
+  const std::string final_path = SnapshotPath(dir, snap.height);
+  const std::string tmp_path = final_path + ".tmp";
+  fs->WriteFile(tmp_path, EncodeSnapshot(snap));
+  fs->Fsync(tmp_path);  // the barrier that defeats the rename hazard
+  fs->Rename(tmp_path, final_path);
+
+  std::vector<uint64_t> heights;
+  std::string manifest_content;
+  if (fs->Read(ManifestPath(dir), &manifest_content)) {
+    DecodeManifest(manifest_content, &heights);  // corrupt -> start fresh
+  }
+  heights.erase(std::remove(heights.begin(), heights.end(), snap.height),
+                heights.end());
+  heights.insert(heights.begin(), snap.height);
+  while (heights.size() > 2) {
+    fs->Remove(SnapshotPath(dir, heights.back()));
+    heights.pop_back();
+  }
+  const std::string manifest_tmp = ManifestPath(dir) + ".tmp";
+  fs->WriteFile(manifest_tmp, EncodeManifest(heights));
+  fs->Fsync(manifest_tmp);
+  fs->Rename(manifest_tmp, ManifestPath(dir));
+}
+
+}  // namespace pbc::store

@@ -272,6 +272,11 @@ TEST(AdversaryBudgetTest, TwoHundredSchedulesRespectBudgetAndProtection) {
           case NemesisKind::kClockSkew:
             ADD_FAILURE() << label << ": adversary emitted clock skew";
             break;
+          case NemesisKind::kTornWrite:
+          case NemesisKind::kLostFlush:
+          case NemesisKind::kRestoreFlush:
+            ADD_FAILURE() << label << ": adversary emitted a disk fault";
+            break;
         }
       }
     }

@@ -147,6 +147,93 @@ TEST(CheckParallelTest, MutationCanaryShrinksIdenticallyInParallel) {
   EXPECT_LE(failure.shrunk_windows.size(), 2u);
 }
 
+// --- Durable storage under --jobs > 1 ----------------------------------------
+
+// Durable mode attaches per-replica block logs + snapshots over the sim
+// filesystem and the crash-recovery checkers, and the torn-write /
+// lost-flush nemeses drive its fault surface — none of which may
+// introduce schedule nondeterminism: the sweep report must stay
+// byte-identical for every --jobs value.
+TEST(CheckParallelTest, DurableFaultedReportIsByteIdenticalAcrossJobs) {
+  SweepOptions base;
+  base.protocols = {"pbft", "raft"};
+  base.nemeses = {"crash,torn-write", "crash,lost-flush"};
+  base.seeds = 3;
+  base.txns = 20;
+  base.durable = true;
+  std::string golden = SweepDump(base, 1);
+  EXPECT_EQ(golden, SweepDump(base, 1));  // fresh serial sweep: same bytes
+  EXPECT_EQ(golden, SweepDump(base, 4));
+  EXPECT_EQ(golden, SweepDump(base, 8));
+}
+
+// Durable mode must change the runs (different MixSeed stream, fsync
+// barriers, recovery checkers), not just be silently ignored: the
+// simulated event count diverges from the plain path on the same cell,
+// while both replay their own stream exactly.
+TEST(CheckParallelTest, DurableModeIsNotASilentNoOp) {
+  RunConfig plain;
+  plain.protocol = "raft";
+  plain.nemesis = "crash";
+  plain.seed = 0;
+  plain.txns = 20;
+  RunConfig durable = plain;
+  durable.durable = true;
+  RunResult plain_result = RunOne(plain);
+  RunResult durable_result = RunOne(durable);
+  EXPECT_NE(plain_result.sim_events, durable_result.sim_events);
+  EXPECT_EQ(durable_result.sim_events, RunOne(durable).sim_events);
+  EXPECT_TRUE(durable_result.ok());
+}
+
+// --- Recovery-mutation canary: seed budget + parallel determinism ------------
+
+// A seeded off-by-one in torn-tail truncation (--mutate-recovery) must be
+// caught by a small durable sweep under the torn-write nemesis, shrink to
+// a minimal schedule that still reproduces, and stay byte-identical
+// across --jobs. Seeds 0-9 at txns=40 are the verified budget: the canary
+// only wakes on a durably torn log tail, so it needs a torn-write crash
+// window followed by a recovery, which about half these seeds produce.
+TEST(CheckParallelTest, RecoveryMutationCanaryIsCaughtAndShrinks) {
+  SweepOptions base;
+  base.protocols = {"pbft"};
+  base.nemeses = {"crash,torn-write"};
+  base.seeds = 10;
+  base.txns = 40;
+  base.durable = true;
+  base.mutate_recovery = true;
+
+  SweepOptions serial = base;
+  serial.jobs = 1;
+  SweepReport golden = RunSweep(serial);
+  ASSERT_FALSE(golden.failures.empty())
+      << "recovery mutation survived the sweep";
+
+  SweepOptions parallel = base;
+  parallel.jobs = 4;
+  SweepReport report = RunSweep(parallel);
+  EXPECT_EQ(golden.ToJson().Dump(), report.ToJson().Dump());
+
+  // The loss is flagged as a durability violation, and the shrunk
+  // schedule still reproduces it when replayed.
+  ASSERT_FALSE(report.failures.empty());
+  const SweepFailure& failure = report.failures.front();
+  ASSERT_FALSE(failure.violations.empty());
+  EXPECT_EQ(failure.violations.front().invariant,
+            std::string("durable-synced-commit"));
+  ASSERT_FALSE(failure.shrunk_schedule.empty());
+  EXPECT_FALSE(RunWithSchedule(failure.config, failure.shrunk_schedule).ok());
+  EXPECT_LE(failure.shrunk_windows.size(), 2u);
+
+  // Without the mutation the identical sweep is clean: the catch above is
+  // the canary, not a broken durable path.
+  SweepOptions healthy = base;
+  healthy.mutate_recovery = false;
+  healthy.jobs = 4;
+  EXPECT_TRUE(RunSweep(healthy).ok())
+      << "durable sweep fails even without the canary";
+}
+
 // --- Adaptive adversary modes under --jobs > 1 -------------------------------
 
 // Adaptive runs record their injected faults as a trace and replay it

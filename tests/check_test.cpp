@@ -349,9 +349,10 @@ TEST(MutationCanaryTest, HealthyQuorumPassesSameSweep) {
 // --- Seed corpus ------------------------------------------------------------
 
 // tests/seeds.txt: one "<protocol> <nemesis> <seed> [block=<N>]
-// [adversary=<mode>] [skew=<ppm>]" per line (see tests/seed_corpus.h for
-// the grammar). Seeds that once found a bug (or exercised an interesting
-// schedule) are committed here and replayed on every CTest run.
+// [adversary=<mode>] [skew=<ppm>] [durable=1]" per line (see
+// tests/seed_corpus.h for the grammar). Seeds that once found a bug (or
+// exercised an interesting schedule) are committed here and replayed on
+// every CTest run.
 TEST(SeedCorpusTest, ReplaysClean) {
   std::ifstream in(PBC_SEEDS_FILE);
   ASSERT_TRUE(in.is_open()) << "missing " << PBC_SEEDS_FILE;
@@ -360,6 +361,7 @@ TEST(SeedCorpusTest, ReplaysClean) {
   size_t block_mode = 0;
   size_t adaptive = 0;
   size_t skewed = 0;
+  size_t durable = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     RunConfig cfg;
@@ -369,6 +371,7 @@ TEST(SeedCorpusTest, ReplaysClean) {
     if (cfg.block_max_txns > 0) ++block_mode;
     if (cfg.adversary != "random") ++adaptive;
     if (cfg.clock_skew_ppm != 0) ++skewed;
+    if (cfg.durable) ++durable;
     cfg.txns = 20;
     RunResult result = RunOne(cfg);
     for (const Violation& v : result.violations) {
@@ -382,6 +385,7 @@ TEST(SeedCorpusTest, ReplaysClean) {
   EXPECT_GE(block_mode, 5u) << "block-pipeline corpus coverage too thin";
   EXPECT_GE(adaptive, 6u) << "adaptive-adversary corpus coverage too thin";
   EXPECT_GE(skewed, 3u) << "clock-skew corpus coverage too thin";
+  EXPECT_GE(durable, 8u) << "durable-storage corpus coverage too thin";
 }
 
 }  // namespace

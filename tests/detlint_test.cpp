@@ -239,6 +239,57 @@ TEST(DetlintFloatState, FlagsFloatsOnlyInStateDirs) {
   EXPECT_TRUE(Lint("bench/bench_x.cpp", "double secs = 0;").empty());
 }
 
+// --- raw-filesystem ---------------------------------------------------------
+
+TEST(DetlintRawFilesystem, FlagsLibcAndPosixCalls) {
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "FILE* f = fopen(p, \"r\");"),
+                      "raw-filesystem"));
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "int fd = open(p, O_RDWR);"),
+                      "raw-filesystem"));
+  EXPECT_TRUE(
+      HasRule(Lint("src/store/x.cc", "fsync(fd);"), "raw-filesystem"));
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "std::rename(a, b);"),
+                      "raw-filesystem"));
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "unlink(p);"),
+                      "raw-filesystem"));
+}
+
+TEST(DetlintRawFilesystem, FlagsStreamTypesAndStdFilesystem) {
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "std::ofstream out(path);"),
+                      "raw-filesystem"));
+  EXPECT_TRUE(HasRule(Lint("src/store/x.h", "std::ifstream in_;"),
+                      "raw-filesystem"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/store/x.cc", "std::filesystem::rename(tmp, final);"),
+      "raw-filesystem"));
+  EXPECT_TRUE(HasRule(Lint("src/store/x.cc", "namespace fs = std::filesystem;"),
+                      "raw-filesystem"));
+}
+
+TEST(DetlintRawFilesystem, ShimAndAlgorithmUsesAreClean) {
+  // sim::Fs's own surface: capitalized methods and member calls.
+  EXPECT_TRUE(Lint("src/store/x.cc", "fs->Rename(tmp, path);").empty());
+  EXPECT_TRUE(Lint("src/store/x.cc", "fs.Fsync(path);").empty());
+  EXPECT_TRUE(Lint("src/sim/fs.cc", "void Fs::Rename(const T& a) {}").empty());
+  // erase-remove and shim truncation are not filesystem calls.
+  EXPECT_TRUE(
+      Lint("src/store/kv.cc", "v.erase(std::remove(v.begin(), v.end(), k));")
+          .empty());
+  EXPECT_TRUE(Lint("src/store/x.cc", "fs->Truncate(path, cut);").empty());
+  // Header mentions are includes, not declarations.
+  EXPECT_TRUE(Lint("src/obs/json.cc", "#include <fstream>\n").empty());
+}
+
+TEST(DetlintRawFilesystem, ScopedToSrcAndSuppressible) {
+  // bench/ emits reports to the host filesystem by design; tools/ is not
+  // scanned. Only src/ is in scope.
+  EXPECT_TRUE(Lint("bench/bench_x.cpp", "std::ofstream out(path);").empty());
+  auto f = Lint("src/obs/json.cc",
+                "// detlint:allow(raw-filesystem) operator report output\n"
+                "std::ofstream out(path);\n");
+  EXPECT_TRUE(f.empty());
+}
+
 // --- comments, strings, includes -------------------------------------------
 
 TEST(DetlintStripping, BannedTokensInCommentsAndStringsAreClean) {

@@ -4,12 +4,14 @@
 //
 // Grammar (whitespace-separated):
 //   <protocol> <nemesis-profile> <seed> [block=<N>] [adversary=<mode>]
-//                                       [skew=<ppm>]
+//                                       [skew=<ppm>] [durable=1]
 // Trailing tokens may appear in any order. `block=<N>` replays through
 // the consensus block pipeline with size cut N; `adversary=<mode>` runs
 // the state-aware adaptive adversary (the profile should be "none" — it
 // is ignored in adaptive modes); `skew=<ppm>` applies the alternating
-// ±ppm per-node clock-skew overlay.
+// ±ppm per-node clock-skew overlay; `durable=1` attaches the durable
+// storage layer + crash-recovery invariants (required for profiles with
+// torn-write / lost-flush).
 #ifndef PBC_TESTS_SEED_CORPUS_H_
 #define PBC_TESTS_SEED_CORPUS_H_
 
@@ -43,6 +45,13 @@ inline bool ParseSeedCorpusLine(const std::string& line, RunConfig* cfg,
       }
     } else if (token.rfind("skew=", 0) == 0) {
       cfg->clock_skew_ppm = std::stoll(token.substr(5));
+    } else if (token.rfind("durable=", 0) == 0) {
+      std::string value = token.substr(8);
+      if (value != "0" && value != "1") {
+        *error = "durable= takes 0 or 1, got '" + value + "'";
+        return false;
+      }
+      cfg->durable = value == "1";
     } else {
       *error = "unknown corpus token '" + token + "'";
       return false;

@@ -1,0 +1,660 @@
+// Unit tests for the durable storage layer (src/store) and its
+// crash-recovery invariant checkers (src/check/durable.h): the sim::Fs
+// fault surface, log-frame scanning and torn-tail truncation, the
+// snapshot write/validate/fallback protocol, DurableLedger round trips,
+// and — per checker — a deliberately broken recovery fake that must trip
+// exactly the invariant that owns its failure mode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/durable.h"
+#include "check/invariants.h"
+#include "ledger/block.h"
+#include "ledger/chain.h"
+#include "sim/fs.h"
+#include "store/block_log.h"
+#include "store/codec.h"
+#include "store/durable_ledger.h"
+#include "store/kv_store.h"
+#include "store/snapshot.h"
+#include "txn/transaction.h"
+
+namespace pbc::check {
+namespace {
+
+txn::Transaction WriteTxn(txn::TxnId id, const std::string& key,
+                          const std::string& value) {
+  txn::Transaction t;
+  t.id = id;
+  t.ops.push_back(txn::Op::Write(key, value));
+  return t;
+}
+
+void AppendBlock(ledger::Chain* chain, std::vector<txn::Transaction> txns) {
+  ASSERT_TRUE(chain
+                  ->Append(ledger::Block::Make(chain->height(),
+                                               chain->TipHash(),
+                                               std::move(txns)))
+                  .ok());
+}
+
+// One block whose state depends on intra-block commit order: it writes
+// the same key twice, so replaying its transactions out of order yields
+// different bytes.
+void AppendOrderSensitiveBlock(ledger::Chain* chain) {
+  uint64_t h = chain->height();
+  std::string key = "k" + std::to_string(h % 3);
+  AppendBlock(chain, {WriteTxn(2 * h + 1, key, "a" + std::to_string(h)),
+                      WriteTxn(2 * h + 2, key, "b" + std::to_string(h))});
+}
+
+void BuildOrderSensitiveChain(ledger::Chain* chain, uint64_t blocks) {
+  for (uint64_t h = 0; h < blocks; ++h) AppendOrderSensitiveBlock(chain);
+}
+
+std::vector<Violation> RunChecker(InvariantChecker* checker) {
+  std::vector<Violation> out;
+  checker->Check(/*now=*/123, &out);
+  return out;
+}
+
+// --- sim::Fs fault surface ---------------------------------------------------
+
+TEST(SimFsTest, CrashRevertsToLastFsync) {
+  sim::Fs fs(1);
+  fs.Append("n0/f", "abc");
+  fs.Crash("n0/");
+  std::string got;
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, "");  // never fsynced: the crash ate it
+
+  fs.Append("n0/f", "abc");
+  ASSERT_TRUE(fs.Fsync("n0/f"));
+  fs.Append("n0/f", "def");  // past the barrier, unsynced
+  fs.Crash("n0/");
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, "abc");
+  EXPECT_EQ(fs.crashes(), 2u);
+}
+
+TEST(SimFsTest, CrashIsPrefixScoped) {
+  sim::Fs fs(1);
+  fs.Append("n0/f", "zero");
+  fs.Append("n1/f", "one");
+  fs.Fsync("n1/f");
+  fs.Crash("n0/");
+  std::string got;
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, "");
+  ASSERT_TRUE(fs.Read("n1/f", &got));
+  EXPECT_EQ(got, "one");
+  sim::FsImage image = fs.DurableImage("n0/");
+  EXPECT_EQ(image.size(), 1u);
+  EXPECT_EQ(image.count("n0/f"), 1u);
+}
+
+TEST(SimFsTest, LostFlushesReportSuccessButAreCounted) {
+  sim::Fs fs(1);
+  fs.WriteFile("n0/f", "hello");
+  fs.SetLoseFlushes("n0/", true);
+  EXPECT_TRUE(fs.Fsync("n0/f"));  // the disk lies
+  EXPECT_EQ(fs.fsyncs_dropped("n0/"), 1u);
+  fs.Crash("n0/");
+  std::string got;
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, "");  // durable content never advanced
+
+  fs.SetLoseFlushes("n0/", false);
+  fs.WriteFile("n0/f", "hello");
+  ASSERT_TRUE(fs.Fsync("n0/f"));
+  fs.Crash("n0/");
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(fs.fsyncs_dropped("n0/"), 1u);  // honest syncs don't count
+}
+
+TEST(SimFsTest, TornCrashChopsTheDurableTail) {
+  sim::Fs fs(7);
+  const std::string content(100, 'x');
+  int attempts = 0;
+  // The chop size is drawn from the shim's seeded Rng and may be zero on
+  // a given crash; re-arm until a tear lands (deterministic per seed).
+  while (fs.tears("n0/") == 0 && attempts < 200) {
+    fs.WriteFile("n0/f", content);
+    fs.Fsync("n0/f");
+    fs.SetPendingTear("n0/", 1'000'000);
+    fs.Crash("n0/");
+    ++attempts;
+  }
+  ASSERT_GE(fs.tears("n0/"), 1u) << "no tear in " << attempts << " crashes";
+  std::string got;
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_LT(got.size(), content.size());
+  EXPECT_EQ(got, content.substr(0, got.size()));  // a strict prefix
+  // The tear was consumed by that crash: a plain crash leaves data alone.
+  fs.WriteFile("n0/f", content);
+  fs.Fsync("n0/f");
+  uint64_t tears_before = fs.tears("n0/");
+  fs.Crash("n0/");
+  EXPECT_EQ(fs.tears("n0/"), tears_before);
+  ASSERT_TRUE(fs.Read("n0/f", &got));
+  EXPECT_EQ(got, content);
+}
+
+TEST(SimFsTest, RenameBeforeSyncLosesContentButKeepsName) {
+  sim::Fs fs(1);
+  fs.WriteFile("n0/snap.tmp", "payload");
+  fs.Rename("n0/snap.tmp", "n0/snap");  // journaled name, unsynced content
+  fs.Crash("n0/");
+  std::string got;
+  ASSERT_TRUE(fs.Read("n0/snap", &got));  // the classic zero-length file
+  EXPECT_EQ(got, "");
+  EXPECT_FALSE(fs.Exists("n0/snap.tmp"));
+
+  fs.WriteFile("n0/snap.tmp", "payload");
+  ASSERT_TRUE(fs.Fsync("n0/snap.tmp"));  // the barrier the protocol needs
+  fs.Rename("n0/snap.tmp", "n0/snap");
+  fs.Crash("n0/");
+  ASSERT_TRUE(fs.Read("n0/snap", &got));
+  EXPECT_EQ(got, "payload");
+}
+
+// --- Block log framing + recovery -------------------------------------------
+
+TEST(BlockLogTest, ScanAcceptsCleanChainedFrames) {
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 3);
+  std::string data;
+  for (const ledger::Block& b : chain.blocks()) {
+    data += store::EncodeFrame(store::EncodeBlock(b));
+  }
+  store::LogScan scan = store::ScanLog(data);
+  EXPECT_EQ(scan.blocks.size(), 3u);
+  EXPECT_EQ(scan.valid_bytes, data.size());
+  EXPECT_FALSE(scan.torn);
+}
+
+TEST(BlockLogTest, ScanStopsAtCorruptAndIncompleteFrames) {
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  std::string f0 = store::EncodeFrame(store::EncodeBlock(chain.at(0)));
+  std::string f1 = store::EncodeFrame(store::EncodeBlock(chain.at(1)));
+
+  std::string corrupt = f0 + f1;
+  corrupt[f0.size() + 10] ^= 0x40;  // flip a byte inside frame 1
+  store::LogScan scan = store::ScanLog(corrupt);
+  EXPECT_EQ(scan.blocks.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, f0.size());
+  EXPECT_TRUE(scan.torn);
+
+  std::string incomplete = f0 + f1.substr(0, f1.size() / 2);
+  scan = store::ScanLog(incomplete);
+  EXPECT_EQ(scan.blocks.size(), 1u);
+  EXPECT_TRUE(scan.torn);
+}
+
+TEST(BlockLogTest, ScanRejectsFramesThatDoNotChain) {
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  // A valid frame of block 1 with no block 0 before it: correct CRC, but
+  // it does not extend the (empty) prefix.
+  std::string data = store::EncodeFrame(store::EncodeBlock(chain.at(1)));
+  store::LogScan scan = store::ScanLog(data);
+  EXPECT_EQ(scan.blocks.size(), 0u);
+  EXPECT_TRUE(scan.torn);
+}
+
+TEST(BlockLogTest, RecoverAndTruncateCutsAtFrameBoundary) {
+  sim::Fs fs(1);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  store::BlockLog log(&fs, "n0/blocks.log");
+  log.Append(chain.at(0));
+  log.Append(chain.at(1));
+  log.Sync();
+  uint64_t clean_size = fs.Size("n0/blocks.log");
+  fs.Append("n0/blocks.log", "torn-tail-garbage");
+  fs.Fsync("n0/blocks.log");
+
+  store::LogScan kept = log.RecoverAndTruncate(/*mutate_off_by_one=*/false);
+  EXPECT_EQ(kept.blocks.size(), 2u);
+  EXPECT_FALSE(kept.torn);
+  EXPECT_EQ(fs.Size("n0/blocks.log"), clean_size);
+}
+
+// The --mutate-recovery canary at the unit level: a torn tail makes the
+// mutated truncation cut one byte into the last *valid* frame, silently
+// dropping an fsynced block.
+TEST(BlockLogTest, MutatedTruncationEatsAnFsyncedBlock) {
+  sim::Fs fs(1);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  store::BlockLog log(&fs, "n0/blocks.log");
+  log.Append(chain.at(0));
+  log.Append(chain.at(1));
+  log.Sync();
+  fs.Append("n0/blocks.log", "torn-tail-garbage");
+  fs.Fsync("n0/blocks.log");
+
+  store::LogScan kept = log.RecoverAndTruncate(/*mutate_off_by_one=*/true);
+  EXPECT_EQ(kept.blocks.size(), 1u);  // block 1 was durable — and is gone
+}
+
+TEST(BlockLogTest, MutationIsDormantWithoutATornTail) {
+  sim::Fs fs(1);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  store::BlockLog log(&fs, "n0/blocks.log");
+  log.Append(chain.at(0));
+  log.Append(chain.at(1));
+  log.Sync();
+  // Frame-aligned log (the common case after a plain crash): the
+  // off-by-one only triggers on truncation, so nothing is lost.
+  store::LogScan kept = log.RecoverAndTruncate(/*mutate_off_by_one=*/true);
+  EXPECT_EQ(kept.blocks.size(), 2u);
+}
+
+// --- Snapshots ---------------------------------------------------------------
+
+TEST(SnapshotTest, CaptureEncodeDecodeRebuildRoundTrip) {
+  store::KvStore kv;
+  uint64_t next_version = 1;
+  for (int i = 0; i < 4; ++i) {
+    std::string key = std::to_string(i % 2);
+    std::string value = std::to_string(i);
+    store::WriteBatch b;
+    b.Put("k" + key, "v" + value);
+    ASSERT_TRUE(kv.ApplyBatch(b, next_version++).ok());
+  }
+  store::SnapshotData snap = store::CaptureSnapshot(kv, /*height=*/3, next_version);
+  std::string encoded = store::EncodeSnapshot(snap);
+
+  store::SnapshotData decoded;
+  ASSERT_TRUE(store::DecodeSnapshot(encoded, &decoded));
+  EXPECT_EQ(decoded.height, 3u);
+  EXPECT_EQ(decoded.next_version, next_version);
+  store::KvStore rebuilt;
+  store::RebuildFromSnapshot(decoded, &rebuilt);
+  EXPECT_EQ(store::SerializeLatestState(rebuilt),
+            store::SerializeLatestState(kv));
+
+  encoded[encoded.size() / 2] ^= 0x01;  // any corruption fails the CRC
+  EXPECT_FALSE(store::DecodeSnapshot(encoded, &decoded));
+}
+
+TEST(SnapshotTest, WriteSnapshotPrunesToNewestTwo) {
+  sim::Fs fs(1);
+  store::KvStore kv;
+  store::WriteBatch b;
+  b.Put("k", "v");
+  ASSERT_TRUE(kv.ApplyBatch(b, 1).ok());
+  for (uint64_t h : {2u, 4u, 6u}) {
+    store::WriteSnapshot(&fs, "n0", store::CaptureSnapshot(kv, h, 2));
+  }
+  std::string manifest;
+  ASSERT_TRUE(fs.Read(store::ManifestPath("n0"), &manifest));
+  std::vector<uint64_t> heights;
+  ASSERT_TRUE(store::DecodeManifest(manifest, &heights));
+  EXPECT_EQ(heights, (std::vector<uint64_t>{6, 4}));
+  EXPECT_TRUE(fs.Exists(store::SnapshotPath("n0", 6)));
+  EXPECT_TRUE(fs.Exists(store::SnapshotPath("n0", 4)));
+  EXPECT_FALSE(fs.Exists(store::SnapshotPath("n0", 2)));  // pruned
+}
+
+// --- DurableLedger round trips ----------------------------------------------
+
+TEST(DurableLedgerTest, PersistThenRecoverRebuildsChainAndState) {
+  sim::Fs fs(11);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 4);
+  store::DurableLedger::Options opts;
+  opts.dir = "n0";
+  store::DurableLedger ledger(&fs, opts);
+  ledger.Persist(chain);
+  EXPECT_EQ(ledger.durable_height(), 4u);
+
+  // Persist append+fsyncs at the commit barrier, so a plain crash loses
+  // nothing.
+  fs.Crash("n0/");
+  store::DurableLedger::Recovered rec = store::DurableLedger::RecoverFromImage(
+      fs.DurableImage("n0/"), "n0", /*mutate_off_by_one=*/false);
+  ASSERT_EQ(rec.height, 4u);
+  for (uint64_t h = 0; h < 4; ++h) {
+    EXPECT_TRUE(rec.blocks[h].header.Hash() == chain.at(h).header.Hash());
+  }
+  EXPECT_TRUE(rec.used_snapshot);  // interval 2: snapshots at 2 and 4
+  EXPECT_EQ(rec.state, ReplayChainState(chain, 4));
+}
+
+TEST(DurableLedgerTest, SnapshotAndFullReplayRecoveriesConverge) {
+  sim::Fs fs(11);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 5);
+  store::DurableLedger::Options opts;
+  opts.dir = "n0";
+  store::DurableLedger ledger(&fs, opts);
+  ledger.Persist(chain);
+
+  sim::FsImage image = fs.DurableImage("n0/");
+  store::DurableLedger::Recovered via_snapshot =
+      store::DurableLedger::RecoverFromImage(image, "n0", false,
+                                             /*use_snapshot=*/true);
+  store::DurableLedger::Recovered via_replay =
+      store::DurableLedger::RecoverFromImage(image, "n0", false,
+                                             /*use_snapshot=*/false);
+  EXPECT_TRUE(via_snapshot.used_snapshot);
+  EXPECT_FALSE(via_replay.used_snapshot);
+  EXPECT_EQ(via_snapshot.height, via_replay.height);
+  EXPECT_EQ(via_snapshot.state, via_replay.state);
+  EXPECT_EQ(via_snapshot.next_version, via_replay.next_version);
+}
+
+TEST(DurableLedgerTest, CorruptNewestSnapshotFallsBackDownTheManifest) {
+  sim::Fs fs(11);
+  ledger::Chain chain;
+  store::DurableLedger::Options opts;
+  opts.dir = "n0";
+  store::DurableLedger ledger(&fs, opts);
+  // Persist block by block, as the harness does on each commit, so the
+  // interval-2 checkpointer leaves snapshots at heights 2 *and* 4.
+  for (int i = 0; i < 4; ++i) {
+    AppendOrderSensitiveBlock(&chain);
+    ledger.Persist(chain);
+  }
+
+  sim::FsImage image = fs.DurableImage("n0/");
+  std::string& newest = image[store::SnapshotPath("n0", 4)];
+  ASSERT_FALSE(newest.empty());
+  newest[newest.size() / 2] ^= 0x01;  // CRC-invalid, as after a bad crash
+
+  store::DurableLedger::Recovered rec =
+      store::DurableLedger::RecoverFromImage(image, "n0", false);
+  EXPECT_TRUE(rec.used_snapshot);
+  EXPECT_EQ(rec.snapshot_height, 2u);  // fell back to the older snapshot
+  EXPECT_EQ(rec.height, 4u);
+  EXPECT_EQ(rec.state, ReplayChainState(chain, 4));
+
+  image.erase(store::ManifestPath("n0"));  // no manifest: full log replay
+  rec = store::DurableLedger::RecoverFromImage(image, "n0", false);
+  EXPECT_FALSE(rec.used_snapshot);
+  EXPECT_EQ(rec.height, 4u);
+  EXPECT_EQ(rec.state, ReplayChainState(chain, 4));
+}
+
+TEST(DurableLedgerTest, RecoverAndResyncReportsAndRepairsMutatedLoss) {
+  sim::Fs fs(11);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  store::DurableLedger::Options opts;
+  opts.dir = "n0";
+  opts.mutate_recovery = true;
+  store::DurableLedger ledger(&fs, opts);
+  ledger.Persist(chain);
+  fs.Append(ledger.log_path(), "torn-tail-garbage");
+  fs.Fsync(ledger.log_path());
+
+  store::DurableLedger::RecoveryReport report = ledger.RecoverAndResync(chain);
+  EXPECT_EQ(report.valid_frames, 2u);      // a correct scan keeps both
+  EXPECT_EQ(report.recovered_height, 1u);  // the canary dropped one
+  EXPECT_EQ(report.resynced_blocks, 1u);   // re-appended from the chain
+  EXPECT_EQ(ledger.durable_height(), 2u);  // the store believes it healed
+  // But the re-appended frame sits after the byte the mutation mutilated,
+  // so the platter really holds one recoverable block: exactly the belief
+  // overclaim the synced-commit checker's belief tooth flags.
+  store::DurableLedger::Recovered rec = store::DurableLedger::RecoverFromImage(
+      fs.DurableImage("n0/"), "n0", false);
+  EXPECT_EQ(rec.height, 1u);
+}
+
+TEST(DurableLedgerTest, HonestRecoverAndResyncRestoresTheFullLog) {
+  sim::Fs fs(11);
+  ledger::Chain chain;
+  BuildOrderSensitiveChain(&chain, 2);
+  store::DurableLedger::Options opts;
+  opts.dir = "n0";
+  store::DurableLedger ledger(&fs, opts);
+  ledger.Persist(chain);
+  fs.Append(ledger.log_path(), "torn-tail-garbage");
+  fs.Fsync(ledger.log_path());
+
+  store::DurableLedger::RecoveryReport report = ledger.RecoverAndResync(chain);
+  EXPECT_EQ(report.valid_frames, 2u);
+  EXPECT_EQ(report.recovered_height, 2u);  // frame-boundary truncation
+  EXPECT_EQ(report.resynced_blocks, 0u);
+  store::DurableLedger::Recovered rec = store::DurableLedger::RecoverFromImage(
+      fs.DurableImage("n0/"), "n0", false);
+  EXPECT_EQ(rec.height, 2u);
+  EXPECT_EQ(rec.state, ReplayChainState(chain, 2));
+}
+
+// --- Checker broken-fakes: each trips exactly its invariant ------------------
+
+// Fixture state shared by the checker tests: a replica whose ledger is
+// honestly persisted, so the *production* recovery is clean and any
+// violation is attributable to the injected broken fake.
+struct CheckerRig {
+  sim::Fs fs{404};
+  ledger::Chain chain;
+  store::DurableLedger ledger;
+
+  // Persist block by block (as the harness's commit listener does) so the
+  // interval-2 checkpointer snapshots mid-chain and a log tail exists
+  // past the newest snapshot.
+  explicit CheckerRig(uint64_t blocks) : ledger(&fs, MakeOptions()) {
+    for (uint64_t h = 0; h < blocks; ++h) {
+      AppendOrderSensitiveBlock(&chain);
+      ledger.Persist(chain);
+    }
+  }
+
+  static store::DurableLedger::Options MakeOptions() {
+    store::DurableLedger::Options opts;
+    opts.dir = "n0";
+    return opts;
+  }
+
+  std::vector<DurableTarget> Targets() {
+    return {{"n0", &ledger, [this] { return &chain; }}};
+  }
+};
+
+TEST(DurableCheckerTest, CleanLedgerPassesAllThreeCheckers) {
+  CheckerRig rig(4);
+  RecoveryEquivalenceChecker equivalence(&rig.fs, rig.Targets(),
+                                         ProductionRecovery(false));
+  SnapshotConvergenceChecker convergence(
+      &rig.fs, rig.Targets(), ProductionRecovery(false),
+      ProductionRecovery(false, /*use_snapshot=*/false));
+  SyncedCommitDurabilityChecker synced(&rig.fs, rig.Targets(),
+                                       ProductionRecovery(false));
+  EXPECT_TRUE(RunChecker(&equivalence).empty());
+  EXPECT_TRUE(RunChecker(&convergence).empty());
+  EXPECT_TRUE(RunChecker(&synced).empty());
+  EXPECT_EQ(convergence.snapshot_recoveries(), 1u);  // not vacuously clean
+}
+
+// A recovery that trusts a torn tail and "recovers" a block the replica
+// never committed must trip recovery-equivalence (and only it).
+TEST(DurableCheckerTest, TornTailResurrectionTripsRecoveryEquivalence) {
+  CheckerRig rig(3);
+  RecoverFn resurrect = [](const sim::FsImage& image, const std::string& dir) {
+    store::DurableLedger::Recovered rec =
+        store::DurableLedger::RecoverFromImage(image, dir, false);
+    ledger::Block ghost = ledger::Block::Make(
+        rec.height, rec.blocks.back().header.Hash(),
+        {WriteTxn(99, "ghost", "g")});
+    rec.blocks.push_back(ghost);
+    rec.height = rec.blocks.size();
+    return rec;
+  };
+  RecoveryEquivalenceChecker broken(&rig.fs, rig.Targets(), resurrect);
+  std::vector<Violation> found = RunChecker(&broken);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("durable-recovery-equivalence"));
+  EXPECT_NE(found[0].detail.find("resurrected"), std::string::npos);
+  // The sibling invariant does not own this failure: a resurrecting
+  // recovery keeps every valid frame, so synced-commit stays quiet.
+  SyncedCommitDurabilityChecker synced(&rig.fs, rig.Targets(), resurrect);
+  EXPECT_TRUE(RunChecker(&synced).empty());
+}
+
+// A snapshot-path recovery that loads the checkpoint but skips the log
+// tail replay must trip snapshot-convergence.
+TEST(DurableCheckerTest, StaleSnapshotRecoveryTripsSnapshotConvergence) {
+  CheckerRig rig(3);  // snapshot at 2, log prefix at 3: a tail exists
+  RecoverFn stale = [](const sim::FsImage& image, const std::string& dir) {
+    store::DurableLedger::Recovered rec =
+        store::DurableLedger::RecoverFromImage(image, dir, false);
+    // Freeze at the snapshot: drop the tail blocks and report the
+    // checkpoint's state as if it were current.
+    store::SnapshotData snap;
+    DecodeSnapshot(image.at(store::SnapshotPath(dir, rec.snapshot_height)),
+                   &snap);
+    store::KvStore kv;
+    RebuildFromSnapshot(snap, &kv);
+    rec.height = rec.snapshot_height;
+    rec.blocks.resize(rec.height);
+    rec.state = store::SerializeLatestState(kv);
+    rec.next_version = snap.next_version;
+    return rec;
+  };
+  SnapshotConvergenceChecker broken(
+      &rig.fs, rig.Targets(), stale,
+      ProductionRecovery(false, /*use_snapshot=*/false));
+  std::vector<Violation> found = RunChecker(&broken);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("durable-snapshot-convergence"));
+  EXPECT_NE(found[0].detail.find("snapshot recovery reaches height"),
+            std::string::npos);
+}
+
+// A recovery that replays each block's transactions in reverse commit
+// order rebuilds the right chain but the wrong bytes — the state compare
+// of recovery-equivalence must catch it.
+TEST(DurableCheckerTest, ReorderedIntraBlockReplayTripsRecoveryEquivalence) {
+  CheckerRig rig(3);
+  RecoverFn reordered = [](const sim::FsImage& image, const std::string& dir) {
+    store::DurableLedger::Recovered rec =
+        store::DurableLedger::RecoverFromImage(image, dir, false);
+    store::KvStore kv;
+    uint64_t next_version = 1;
+    for (const ledger::Block& block : rec.blocks) {
+      for (auto it = block.txns.rbegin(); it != block.txns.rend(); ++it) {
+        txn::ExecResult result = txn::Execute(*it, txn::LatestReader(&kv));
+        if (!result.writes.empty()) {
+          kv.ApplyBatch(result.writes, next_version++);
+        }
+      }
+    }
+    rec.state = store::SerializeLatestState(kv);
+    return rec;
+  };
+  RecoveryEquivalenceChecker broken(&rig.fs, rig.Targets(), reordered);
+  std::vector<Violation> found = RunChecker(&broken);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("durable-recovery-equivalence"));
+  EXPECT_NE(found[0].detail.find("byte-equal"), std::string::npos);
+}
+
+// A recovery that truncates past the last valid frame loses an fsynced
+// commit — synced-commit's shadow-recovery tooth must catch it.
+TEST(DurableCheckerTest, OverTruncatingRecoveryTripsSyncedCommit) {
+  CheckerRig rig(3);
+  RecoverFn over_truncate = [](const sim::FsImage& image,
+                               const std::string& dir) {
+    store::DurableLedger::Recovered rec =
+        store::DurableLedger::RecoverFromImage(image, dir, false);
+    rec.blocks.pop_back();
+    rec.height = rec.blocks.size();
+    return rec;
+  };
+  SyncedCommitDurabilityChecker broken(&rig.fs, rig.Targets(), over_truncate);
+  std::vector<Violation> found = RunChecker(&broken);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, std::string("durable-synced-commit"));
+  EXPECT_NE(found[0].detail.find("would lose an fsynced commit"),
+            std::string::npos);
+}
+
+// The live-recovery tooth: an observed RecoverAndResync that kept fewer
+// blocks than the platter's valid frames is reported on the next Check.
+TEST(DurableCheckerTest, ObserveRecoveryReportsTruncationLoss) {
+  sim::Fs fs(1);
+  SyncedCommitDurabilityChecker checker(&fs, {}, ProductionRecovery(false));
+  store::DurableLedger::RecoveryReport report;
+  report.valid_frames = 3;
+  report.recovered_height = 2;
+  checker.ObserveRecovery(/*replica_index=*/0, report, /*now=*/55);
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].at, 55u);
+  EXPECT_NE(found[0].detail.find("lost by truncation"), std::string::npos);
+  EXPECT_TRUE(RunChecker(&checker).empty());  // drained once reported
+
+  report.recovered_height = 3;  // kept everything: nothing to report
+  checker.ObserveRecovery(0, report, 66);
+  EXPECT_TRUE(RunChecker(&checker).empty());
+}
+
+// The shadow-recovery tooth catches the --mutate-recovery canary: on a
+// durably torn tail, the mutated truncation gives back one block fewer
+// than a correct scan keeps.
+TEST(DurableCheckerTest, MutatedRecoveryCanaryTripsSyncedCommit) {
+  CheckerRig rig(2);
+  rig.fs.Append(rig.ledger.log_path(), "torn-tail-garbage");
+  rig.fs.Fsync(rig.ledger.log_path());
+
+  SyncedCommitDurabilityChecker honest(&rig.fs, rig.Targets(),
+                                       ProductionRecovery(false));
+  EXPECT_TRUE(RunChecker(&honest).empty());
+
+  SyncedCommitDurabilityChecker mutated(&rig.fs, rig.Targets(),
+                                        ProductionRecovery(true));
+  std::vector<Violation> found = RunChecker(&mutated);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].detail.find("would lose an fsynced commit"),
+            std::string::npos);
+}
+
+// The belief tooth: a store claiming more durable blocks than the platter
+// holds is a bug when the disk has been honest...
+TEST(DurableCheckerTest, OverclaimedDurabilityTripsSyncedCommitBelief) {
+  CheckerRig rig(2);
+  // Shrink the durable log behind the store's back (an "honest" loss: no
+  // fault counter records it). One frame survives.
+  std::string first_frame =
+      store::EncodeFrame(store::EncodeBlock(rig.chain.at(0)));
+  rig.fs.Truncate(rig.ledger.log_path(), first_frame.size());
+  rig.fs.Fsync(rig.ledger.log_path());
+
+  SyncedCommitDurabilityChecker checker(&rig.fs, rig.Targets(),
+                                        ProductionRecovery(false));
+  std::vector<Violation> found = RunChecker(&checker);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].detail.find("believes"), std::string::npos);
+}
+
+// ...but is excused when the Fs records that the disk lied (a dropped
+// flush strands the belief above the platter through no fault of the
+// store).
+TEST(DurableCheckerTest, LostFlushGatesTheBeliefCheck) {
+  CheckerRig rig(1);
+  rig.fs.SetLoseFlushes("n0/", true);
+  AppendBlock(&rig.chain, {WriteTxn(50, "k0", "late")});
+  rig.ledger.Persist(rig.chain);  // believes 2; platter still holds 1
+  ASSERT_EQ(rig.ledger.durable_height(), 2u);
+  ASSERT_GE(rig.fs.fsyncs_dropped("n0/"), 1u);
+
+  SyncedCommitDurabilityChecker synced(&rig.fs, rig.Targets(),
+                                       ProductionRecovery(false));
+  EXPECT_TRUE(RunChecker(&synced).empty());
+  // And what *is* on the platter still recovers equivalently.
+  RecoveryEquivalenceChecker equivalence(&rig.fs, rig.Targets(),
+                                         ProductionRecovery(false));
+  EXPECT_TRUE(RunChecker(&equivalence).empty());
+}
+
+}  // namespace
+}  // namespace pbc::check

@@ -35,6 +35,11 @@ const std::vector<RuleInfo> kRules = {
     {"float-state",
      "float/double in ledger/txn/consensus state — non-associative "
      "rounding diverges across evaluation orders; use integers"},
+    {"raw-filesystem",
+     "direct filesystem access in src/ (fopen/open/rename/fsync, "
+     "std::fstream, std::filesystem) — durable state goes through the "
+     "sim::Fs shim so crashes, torn writes and fsync semantics stay "
+     "simulated and seeded"},
     {"bad-annotation",
      "malformed detlint:allow annotation (unknown rule or missing "
      "justification)"},
@@ -263,6 +268,24 @@ const std::map<std::string, const char*> kCallBanned = {
     {"usleep", "thread-raw"},        {"nanosleep", "thread-raw"},
 };
 
+// Direct filesystem calls banned in src/ (raw-filesystem rule): durable
+// state must flow through sim::Fs so fault injection sees every byte.
+// `remove` and `truncate` are deliberately absent — std::remove is also
+// the erase-remove algorithm (used by src/store) and `truncate` names
+// shim methods; the open/write/rename/sync surface below is what real
+// persistence code cannot avoid.
+const std::set<std::string> kFsCallBanned = {
+    "fopen",  "freopen",  "fdopen",   "open",      "openat",
+    "creat",  "fsync",    "fdatasync", "rename",   "renameat",
+    "unlink", "unlinkat", "ftruncate", "mkstemp",
+};
+
+// Stream/file types banned as bare mentions in src/ — declaring one is
+// already a bypass of the shim. `filesystem` catches std::filesystem use.
+const std::set<std::string> kFsBareTypes = {
+    "ifstream", "ofstream", "fstream", "filebuf", "filesystem",
+};
+
 const std::set<std::string> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
@@ -278,6 +301,12 @@ bool FloatStateScope(const std::string& path) {
   return PathStartsWith(path, "src/ledger/") ||
          PathStartsWith(path, "src/txn/") ||
          PathStartsWith(path, "src/consensus/");
+}
+
+// raw-filesystem applies to all of src/ (bench emits reports to the host
+// filesystem by design, and tools/ is not scanned at all).
+bool RawFsScope(const std::string& path) {
+  return PathStartsWith(path, "src/");
 }
 
 // Skips a balanced template argument list starting at the `<` at `i`.
@@ -453,6 +482,7 @@ void ScanTokens(const std::string& path, const std::vector<Token>& toks,
                 const std::set<std::string>& unordered_decls,
                 std::vector<Finding>* findings) {
   const bool float_scope = FloatStateScope(path);
+  const bool rawfs_scope = RawFsScope(path);
 
   auto add = [&](size_t line, const char* rule, std::string msg) {
     findings->push_back({path, line, rule, std::move(msg)});
@@ -482,6 +512,37 @@ void ScanTokens(const std::string& path, const std::vector<Token>& toks,
       if (!member_access && !foreign_scope) {
         add(toks[i].line, call->second, "call to '" + t + "()' is banned");
         continue;
+      }
+    }
+
+    // Raw filesystem access in src/: durable state goes through sim::Fs.
+    if (rawfs_scope) {
+      if (kFsBareTypes.count(t) > 0 && prev != "." && prev != "->") {
+        // `#include <fstream>` mentions the header name, not the type.
+        bool include_line =
+            prev == "<" && i >= 2 && toks[i - 2].text == "include";
+        if (!include_line) {
+          add(toks[i].line, "raw-filesystem",
+              "'" + t +
+                  "' bypasses the deterministic filesystem shim — route "
+                  "file I/O through sim::Fs");
+          continue;
+        }
+      }
+      if (kFsCallBanned.count(t) > 0 && next == "(") {
+        bool member_access = prev == "." || prev == "->";
+        // std:: and std::filesystem:: are the real thing and stay banned;
+        // other scopes (sim::Fs methods, user classes) are fine.
+        bool foreign_scope =
+            prev == "::" && !(i >= 2 && (toks[i - 2].text == "std" ||
+                                         toks[i - 2].text == "filesystem"));
+        if (!member_access && !foreign_scope) {
+          add(toks[i].line, "raw-filesystem",
+              "call to '" + t +
+                  "()' bypasses the deterministic filesystem shim — route "
+                  "file I/O through sim::Fs");
+          continue;
+        }
       }
     }
 
